@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints (a) the paper-style table/plot on stdout and (b) dumps
+// its series as CSV under bench_out/ so figures can be regenerated with any
+// plotting tool. `--full` switches from the fast default problem sizes to
+// paper-scale ones.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace mrl::bench {
+
+struct Args {
+  bool full = false;  ///< paper-scale problem sizes (slower)
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) a.full = true;
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--full]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+};
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline void dump_csv(const std::string& name,
+                     const std::vector<std::vector<std::string>>& rows) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  if (write_csv_file(path, rows)) {
+    std::printf("[csv] %s\n", path.c_str());
+  }
+}
+
+}  // namespace mrl::bench

@@ -1,0 +1,116 @@
+// Extension (the paper's future work): NCCL/RCCL-style collectives on the
+// Message Roofline. Ring vs recursive-doubling allreduce across message
+// sizes on CPU and GPU platforms, with the per-size roofline bound.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "coll/algorithms.hpp"
+#include "core/fit.hpp"
+#include "core/model.hpp"
+#include "core/sweep.hpp"
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace mrl;
+
+double time_cpu_allreduce(const simnet::Platform& plat, int p,
+                          std::size_t count, bool ring) {
+  runtime::Engine eng(plat, p);
+  double t = 0;
+  const auto r = mpi::World::run(eng, [&](mpi::Comm& c) {
+    c.world().capture_payloads = true;
+    std::vector<double> v(count, 1.0);
+    c.barrier();
+    const double t0 = c.now();
+    if (ring) {
+      coll::ring_allreduce_sum(c, v.data(), v.size());
+    } else {
+      coll::rd_allreduce_sum(c, v.data(), v.size());
+    }
+    c.barrier();
+    if (c.rank() == 0) t = c.now() - t0;
+  });
+  MRL_CHECK_MSG(r.ok(), r.status.message().c_str());
+  return t;
+}
+
+double time_gpu_ring(const simnet::Platform& plat, int p, std::size_t count) {
+  runtime::Engine eng(plat, p);
+  double t = 0;
+  shmem::World::Options opt;
+  // Staging: 2(P-1) slots of one chunk each, plus signals and slack.
+  opt.heap_bytes = 2ull * static_cast<std::uint64_t>(p) *
+                       (count / static_cast<std::uint64_t>(p) + 2) * 8 +
+                   (1u << 20);
+  const auto r = shmem::World::run(eng, [&](shmem::Ctx& s) {
+    std::vector<double> v(count, 1.0);
+    s.barrier_all();
+    const double t0 = s.now();
+    coll::shmem_ring_allreduce_sum(s, v.data(), v.size());
+    if (s.pe() == 0) t = s.now() - t0;
+  }, opt);
+  MRL_CHECK_MSG(r.ok(), r.status.message().c_str());
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  bench::Args::parse(argc, argv);
+  bench::banner("ext_collectives — NCCL/RCCL-style allreduce (extension)",
+                "paper Sec V future work: 'AI applications using NCCL, "
+                "RCCL, HCCL'");
+
+  // CPU: ring vs recursive doubling on 16 Perlmutter ranks.
+  {
+    const auto plat = simnet::Platform::perlmutter_cpu();
+    TextTable t({"vector", "ring allreduce", "recursive doubling", "winner"});
+    std::vector<std::vector<std::string>> csv;
+    csv.push_back({"bytes", "ring_us", "rd_us"});
+    for (std::size_t count : {64u, 1024u, 16384u, 262144u, 2097152u}) {
+      const double ring = time_cpu_allreduce(plat, 16, count, true);
+      const double rd = time_cpu_allreduce(plat, 16, count, false);
+      t.add_row({format_bytes(count * 8), format_time_us(ring),
+                 format_time_us(rd), ring < rd ? "ring" : "recursive-dbl"});
+      csv.push_back({format_double(static_cast<double>(count) * 8, 0),
+                     format_double(ring, 2), format_double(rd, 2)});
+    }
+    std::printf("%s\n",
+                t.render("allreduce on 16 Perlmutter CPU ranks").c_str());
+    bench::dump_csv("ext_collectives_cpu", csv);
+  }
+
+  // GPU: SHMEM ring allreduce bus bandwidth across the three GPU machines,
+  // against the put-with-signal roofline bound.
+  {
+    TextTable t({"platform", "PEs", "64 MiB allreduce", "bus bandwidth",
+                 "roofline peak"});
+    struct Case {
+      simnet::Platform plat;
+      int pes;
+    };
+    const Case cases[] = {{simnet::Platform::perlmutter_gpu(), 4},
+                          {simnet::Platform::summit_gpu(), 6},
+                          {simnet::Platform::frontier_gpu(), 8}};
+    for (const Case& cs : cases) {
+      const std::size_t count = (64u << 20) / 8;
+      const double us = time_gpu_ring(cs.plat, cs.pes, count);
+      // NCCL "bus bandwidth": 2(P-1)/P * bytes / time.
+      const double bus =
+          bytes_per_us_to_gbs(2.0 * (cs.pes - 1) / cs.pes *
+                                  static_cast<double>(count) * 8,
+                              us);
+      const core::RooflineParams fit = core::calibrate_roofline(
+          cs.plat, core::SweepKind::kShmemPutSignal);
+      t.add_row({cs.plat.name(), std::to_string(cs.pes), format_time_us(us),
+                 format_gbs(bus), format_gbs(fit.peak_gbs)});
+    }
+    std::printf("%s\n",
+                t.render("SHMEM ring allreduce (RCCL/NCCL analog)").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Extension: multi-node Message Rooflines. The paper's CPU measurements are
+// on-node (Infinity Fabric / X-Bus); production runs cross the NIC. Two
+// simulated Perlmutter nodes put the Slingshot NIC (25 GB/s PCIe4) on the
+// path: the roofline ceiling drops from 32 to 25 GB/s and the latency lines
+// shift up by the extra hops.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workloads/stencil/stencil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  const auto args = bench::Args::parse(argc, argv);
+  bench::banner("ext_multinode — crossing the NIC (extension)",
+                "on-node (paper Fig 3a) vs 2-node Perlmutter CPU rooflines");
+
+  const simnet::Platform one_node = simnet::Platform::perlmutter_cpu(1);
+  const simnet::Platform two_node = simnet::Platform::perlmutter_cpu(2);
+
+  // Pairwise sweeps: on-node pair vs cross-node pair.
+  core::SweepConfig base =
+      core::SweepConfig::defaults(core::SweepKind::kOneSidedMpi);
+  if (!args.full) base.iters = 4;
+
+  const auto pts_on = core::run_sweep(one_node, base);
+
+  core::SweepConfig cross = base;
+  cross.nranks = two_node.max_ranks();
+  cross.sender = 0;
+  cross.receiver = cross.nranks - 1;  // lands on the second node
+  const auto pts_cross = core::run_sweep(two_node, cross);
+
+  const auto fit_on = core::fit_roofline(pts_on);
+  const auto fit_cross = core::fit_roofline(pts_cross);
+
+  core::RooflineFigure fig("on-node vs cross-node one-sided MPI (Perlmutter)",
+                           fit_on.params);
+  fig.add_model_curves({1, 100, 10000});
+  fig.add_points("on-node (IF)", 'o', pts_on);
+  fig.add_points("cross-node (NIC + switch)", 'x', pts_cross);
+  std::printf("%s\n", fig.render().c_str());
+
+  TextTable t({"path", "fitted peak", "fitted L", "fitted o"});
+  t.add_row({"on-node (IF)", format_gbs(fit_on.params.peak_gbs),
+             format_time_us(fit_on.params.L_us),
+             format_time_us(fit_on.params.o_us)});
+  t.add_row({"cross-node (NIC)", format_gbs(fit_cross.params.peak_gbs),
+             format_time_us(fit_cross.params.L_us),
+             format_time_us(fit_cross.params.o_us)});
+  std::printf("%s\n", t.render("fitted rooflines").c_str());
+
+  // Stencil across two nodes: the NIC only carries the halo cut between the
+  // node halves, so the BSP workload barely notices (bandwidth-bound again).
+  workloads::stencil::Config scfg;
+  scfg.n = args.full ? 16384 : 2048;
+  scfg.iters = 4;
+  scfg.verify = false;
+  const auto r1 = workloads::stencil::run_two_sided(one_node, 128, scfg);
+  const auto r2 = workloads::stencil::run_two_sided(two_node, 256, scfg);
+  MRL_CHECK_MSG(r1.status.is_ok(), r1.status.to_string().c_str());
+  MRL_CHECK_MSG(r2.status.is_ok(), r2.status.to_string().c_str());
+  TextTable st({"config", "ranks", "stencil time"});
+  st.add_row({"1 node", "128", format_time_us(r1.time_us)});
+  st.add_row({"2 nodes", "256", format_time_us(r2.time_us)});
+  std::printf("%s\n", st.render("stencil strong scaling across nodes").c_str());
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"path", "bytes", "msgs_per_sync", "gbs"});
+  for (const auto& p : pts_on) {
+    csv.push_back({"on_node", format_double(p.bytes, 0),
+                   format_double(p.msgs_per_sync, 0),
+                   format_double(p.measured_gbs, 4)});
+  }
+  for (const auto& p : pts_cross) {
+    csv.push_back({"cross_node", format_double(p.bytes, 0),
+                   format_double(p.msgs_per_sync, 0),
+                   format_double(p.measured_gbs, 4)});
+  }
+  bench::dump_csv("ext_multinode", csv);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig 1: Message Roofline Model overview on Frontier — sharp vs rounded
+// ceilings, msg/sync curves from 1 to 1e6, and empirical one-sided MPI dots.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/fit.hpp"
+#include "core/model.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  const auto args = bench::Args::parse(argc, argv);
+  bench::banner("fig01_roofline_overview — Message Roofline on Frontier",
+                "Fig 1 (sharp B/max(o,L,BG) vs rounded B/(o+max(L,BG)))");
+
+  const simnet::Platform plat = simnet::Platform::frontier_cpu();
+
+  // Empirical dots: one-sided MPI sweep on the simulated Frontier node.
+  core::SweepConfig cfg = core::SweepConfig::defaults(
+      core::SweepKind::kOneSidedMpi);
+  if (!args.full) cfg.iters = 4;
+  const auto points = core::run_sweep(plat, cfg);
+
+  // Fit the rounded model from the empirical data — "the diagonal ceilings
+  // (latency lines) are inferred based [on] the empirical data".
+  const core::FitResult fit = core::fit_roofline(points);
+  std::printf("fitted: %s  (rms log error %.3f)\n\n",
+              fit.params.to_string().c_str(), fit.rms_log_error);
+
+  core::RooflineFigure fig("Fig 1: Message Roofline overview (Frontier CPU)",
+                           fit.params);
+  fig.add_model_curves({1, 10, 100, 1000, 1e4, 1e5, 1e6});
+  fig.add_sharp_curve();
+  fig.add_points("one-sided MPI (measured)", '*', points);
+  std::printf("%s\n", fig.render().c_str());
+
+  // The paper's headline: ~10x improvement available from overlapping >=100
+  // messages per sync when L >> G*B.
+  core::RooflineModel model(fit.params);
+  TextTable t({"msg size", "BW @ 1 msg/sync", "BW @ 100 msg/sync",
+               "overlap headroom"});
+  for (double b : {8.0, 256.0, 8192.0, 262144.0, 4194304.0}) {
+    t.add_row({format_bytes(static_cast<std::uint64_t>(b)),
+               format_gbs(model.rounded_gbs(b, 1)),
+               format_gbs(model.rounded_gbs(b, 100)),
+               format_double(model.overlap_headroom(b), 1) + "x"});
+  }
+  std::printf("%s\n", t.render("overlap benefit by message size").c_str());
+
+  bench::dump_csv("fig01_roofline_overview", fig.csv_rows());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig 3: sustained two-sided vs one-sided MPI bandwidth on Perlmutter,
+// Frontier, and Summit CPUs as a function of message size and msg/sync.
+//
+// Headlines to reproduce:
+//   (a,b) Perlmutter/Frontier: one-sided achieves higher bandwidth and lower
+//         latency than two-sided as msg/sync grows; achieved BW ~ IF peak.
+//   (c)   Summit Spectrum MPI: one-sided is consistently SLOWER.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  const auto args = bench::Args::parse(argc, argv);
+  bench::banner("fig03_cpu_bandwidth — two-sided vs one-sided MPI on CPUs",
+                "Fig 3 (a: Perlmutter CPU, b: Frontier CPU, c: Summit CPU)");
+
+  const simnet::Platform plats[] = {simnet::Platform::perlmutter_cpu(),
+                                    simnet::Platform::frontier_cpu(),
+                                    simnet::Platform::summit_cpu()};
+  const char* sub[] = {"(a)", "(b)", "(c)"};
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"platform", "kind", "bytes", "msgs_per_sync", "gbs",
+                 "eff_latency_us"});
+
+  for (int pi = 0; pi < 3; ++pi) {
+    const simnet::Platform& plat = plats[pi];
+    core::SweepConfig two = core::SweepConfig::defaults(
+        core::SweepKind::kTwoSided);
+    core::SweepConfig one = core::SweepConfig::defaults(
+        core::SweepKind::kOneSidedMpi);
+    if (!args.full) {
+      two.iters = 4;
+      one.iters = 4;
+    }
+    const auto pts2 = core::run_sweep(plat, two);
+    const auto pts1 = core::run_sweep(plat, one);
+    const auto fit1 = core::fit_roofline(pts1);
+
+    core::RooflineFigure fig(
+        std::string("Fig 3") + sub[pi] + ": " + plat.name(), fit1.params);
+    fig.add_model_curves({1, 100, 10000});
+    fig.add_points("two-sided MPI", 'x', pts2);
+    fig.add_points("one-sided MPI", 'o', pts1);
+    std::printf("%s\n", fig.render().c_str());
+
+    // Who wins, by message size, at low and high concurrency.
+    TextTable t({"msg size", "2-sided m=1", "1-sided m=1", "2-sided m=1e4",
+                 "1-sided m=1e4", "winner @ m=1e4"});
+    for (std::size_t i = 0; i < two.msg_sizes.size(); ++i) {
+      auto find = [&](const std::vector<core::SweepPoint>& pts, double b,
+                      double m) {
+        for (const auto& p : pts) {
+          if (p.bytes == b && p.msgs_per_sync == m) return p.measured_gbs;
+        }
+        return 0.0;
+      };
+      const double b = static_cast<double>(two.msg_sizes[i]);
+      const double t2lo = find(pts2, b, 1), t1lo = find(pts1, b, 1);
+      const double t2hi = find(pts2, b, 10000), t1hi = find(pts1, b, 10000);
+      t.add_row({format_bytes(two.msg_sizes[i]), format_gbs(t2lo),
+                 format_gbs(t1lo), format_gbs(t2hi), format_gbs(t1hi),
+                 t1hi > t2hi ? "one-sided" : "two-sided"});
+    }
+    std::printf("%s\n", t.render(plat.name() + " summary").c_str());
+
+    for (const auto& p : pts2) {
+      csv.push_back({plat.name(), "two-sided", format_double(p.bytes, 0),
+                     format_double(p.msgs_per_sync, 0),
+                     format_double(p.measured_gbs, 4),
+                     format_double(p.eff_latency_us, 4)});
+    }
+    for (const auto& p : pts1) {
+      csv.push_back({plat.name(), "one-sided", format_double(p.bytes, 0),
+                     format_double(p.msgs_per_sync, 0),
+                     format_double(p.measured_gbs, 4),
+                     format_double(p.eff_latency_us, 4)});
+    }
+  }
+  bench::dump_csv("fig03_cpu_bandwidth", csv);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig 8: SpTRSV time on CPUs and GPUs using two-sided and one-sided
+// communication, vs rank/PE count.
+//
+// Headlines: one-sided SLOWER than two-sided on CPUs (4 MPI ops + ack scan)
+// and it stops scaling at higher parallelism; Perlmutter GPUs scale while
+// Summit GPUs don't (NVLink3 latency/bandwidth advantage, ~3.7x at 4 PEs);
+// Summit CPUs scale to 32 ranks but get worse at 42.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workloads/sptrsv/sptrsv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  namespace sp = workloads::sptrsv;
+  const auto args = bench::Args::parse(argc, argv);
+  bench::banner("fig08_sptrsv — SpTRSV on CPUs and GPUs",
+                "Fig 8 (paper matrix: 126K x 126K, 1e8 nnz; scaled synthetic "
+                "supernodal factor by default)");
+
+  sp::GenConfig g;
+  g.n = args.full ? 126000 : 30000;
+  g.fill = args.full ? 8.0 : 6.0;
+  const auto L = sp::SupernodalMatrix::generate(g);
+  std::printf("matrix: n=%d, %d supernodes, %llu nnz\n\n", L.n(),
+              L.num_supernodes(),
+              static_cast<unsigned long long>(L.nnz()));
+
+  sp::Config cfg;
+  cfg.verify = false;
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"series", "ranks", "time_us"});
+  TextTable t({"series", "ranks", "SOLVE time", "avg msg", "msg latency"});
+  auto row = [&](const std::string& series, int ranks, const sp::Result& r) {
+    MRL_CHECK_MSG(r.status.is_ok(), r.status.to_string().c_str());
+    t.add_row({series, std::to_string(ranks), format_time_us(r.time_us),
+               format_bytes(static_cast<std::uint64_t>(r.msgs.avg_msg_bytes)),
+               format_time_us(r.msgs.avg_latency_us)});
+    csv.push_back({series, std::to_string(ranks), format_double(r.time_us, 2)});
+  };
+
+  const auto pm_cpu = simnet::Platform::perlmutter_cpu();
+  for (int p : {1, 4, 8, 16, 32}) {
+    row("Perlmutter CPU two-sided", p, sp::run_two_sided(pm_cpu, p, L, cfg));
+  }
+  t.add_separator();
+  for (int p : {1, 4, 8, 16, 32}) {
+    row("Perlmutter CPU one-sided", p, sp::run_one_sided(pm_cpu, p, L, cfg));
+  }
+  t.add_separator();
+  const auto sm_cpu = simnet::Platform::summit_cpu();
+  for (int p : {1, 8, 32, 42}) {
+    row("Summit CPU two-sided", p, sp::run_two_sided(sm_cpu, p, L, cfg));
+  }
+  t.add_separator();
+  const auto pm_gpu = simnet::Platform::perlmutter_gpu();
+  sp::Result pm_gpu4;
+  for (int p : {1, 2, 4}) {
+    auto r = sp::run_shmem_gpu(pm_gpu, p, L, cfg);
+    if (p == 4) pm_gpu4 = r;
+    row("Perlmutter GPU NVSHMEM", p, r);
+  }
+  t.add_separator();
+  const auto sm_gpu = simnet::Platform::summit_gpu();
+  sp::Result sm_gpu4;
+  for (int p : {1, 2, 4, 6}) {
+    auto r = sp::run_shmem_gpu(sm_gpu, p, L, cfg);
+    if (p == 4) sm_gpu4 = r;
+    row("Summit GPU NVSHMEM", p, r);
+  }
+
+  std::printf("%s\n", t.render("Fig 8: SpTRSV SOLVE time").c_str());
+  if (pm_gpu4.time_us > 0) {
+    std::printf("Perlmutter GPU vs Summit GPU at 4 PEs: %.2fx (paper: 3.7x)\n",
+                sm_gpu4.time_us / pm_gpu4.time_us);
+  }
+  bench::dump_csv("fig08_sptrsv", csv);
+  return 0;
+}

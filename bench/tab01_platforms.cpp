@@ -1,0 +1,53 @@
+// Table I / Table III + Fig 2: evaluation platforms and node architectures.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  bench::Args::parse(argc, argv);
+  bench::banner("tab01_platforms — evaluation platforms",
+                "Table I / Table III and Fig 2 (node architectures)");
+
+  TextTable t({"Machine", "GPUs/node", "GPU Interconnect", "GPU Runtime",
+               "GPU-CPU", "CPUs", "CPU-CPU", "CPU Runtime", "CPU-NIC"});
+  for (const simnet::Platform& p : simnet::Platform::all()) {
+    const simnet::PlatformInfo& i = p.info();
+    t.add_row({p.name(), i.gpus_per_node, i.gpu_interconnect, i.gpu_runtime,
+               i.gpu_cpu_interconnect, i.cpus, i.cpu_cpu_interconnect,
+               i.cpu_runtime, i.cpu_nic_interconnect});
+  }
+  std::printf("%s\n", t.render("Table I: Evaluation Platforms").c_str());
+
+  std::printf("Fig 2: node architectures (simulated topologies)\n\n");
+  for (const simnet::Platform& p : simnet::Platform::all()) {
+    std::printf("--- %s ---\n%s\n", p.name().c_str(),
+                p.topology().describe().c_str());
+    std::printf("  rank pump: %s, local: %s @ %s, max ranks: %d\n\n",
+                p.rank_pump_gbs() > 0 ? format_gbs(p.rank_pump_gbs()).c_str()
+                                      : "unlimited",
+                format_gbs(p.local_bw_gbs()).c_str(),
+                format_time_us(p.local_latency_us()).c_str(), p.max_ranks());
+  }
+
+  TextTable lg({"Platform", "Runtime", "L (us)", "o (us)", "g (us)",
+                "atomic L (us)"});
+  for (const simnet::Platform& p : simnet::Platform::all()) {
+    for (simnet::Runtime r : {simnet::Runtime::kTwoSidedMpi,
+                              simnet::Runtime::kOneSidedMpi,
+                              simnet::Runtime::kShmem}) {
+      if (!p.is_gpu() && r == simnet::Runtime::kShmem) continue;
+      if (p.is_gpu() && r != simnet::Runtime::kShmem) continue;
+      const simnet::LogGP& g = p.params(r);
+      lg.add_row({p.name(), std::string(simnet::to_string(r)),
+                  format_double(g.L_us, 2), format_double(g.o_us, 2),
+                  format_double(g.g_us, 2), format_double(g.atomic_L_us, 2)});
+    }
+  }
+  std::printf("%s\n",
+              lg.render("Calibrated LogGP parameter sets").c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Distributed hashtable demo: CAS-based one-sided inserts vs the two-sided
+// triplet broadcast protocol, with full content verification (Sec III-C).
+//
+// Usage: ./examples/hashtable_demo [total_inserts] [ranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "simnet/platform.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workloads/hashtable/hashtable.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrl;
+  namespace hb = workloads::hashtable;
+
+  hb::Config cfg;
+  cfg.total_inserts =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 20000;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  std::printf("distributed hashtable: %llu inserts over %d ranks "
+              "(%llu slots + %llu overflow nodes per rank)\n\n",
+              static_cast<unsigned long long>(cfg.total_inserts), ranks,
+              static_cast<unsigned long long>(cfg.slots_per_rank),
+              static_cast<unsigned long long>(cfg.overflow_per_rank));
+
+  TextTable t({"variant", "platform", "time", "updates/s", "collisions",
+               "verified"});
+  auto row = [&](const char* name, const char* plat, const hb::Result& r) {
+    t.add_row({name, plat, format_time_us(r.time_us),
+               format_count(static_cast<std::uint64_t>(r.updates_per_sec)),
+               std::to_string(r.collisions),
+               r.verify_ok ? "all keys stored" : "FAILED"});
+  };
+
+  const auto cpu = simnet::Platform::perlmutter_cpu();
+  row("one-sided (remote CAS)", "Perlmutter CPU",
+      hb::run_one_sided(cpu, ranks, cfg));
+  row("two-sided (triplet bcast)", "Perlmutter CPU",
+      hb::run_two_sided(cpu, ranks, cfg));
+  const auto gpu = simnet::Platform::summit_gpu();
+  row("NVSHMEM atomics", "Summit GPU (dumbbell)",
+      hb::run_shmem_gpu(gpu, std::min(ranks, gpu.max_ranks()), cfg));
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Note: one-sided wins at scale (one 2 us CAS beats P-1\n"
+              "messages) but loses at 2 ranks — the Fig 9 crossover.\n");
+  return 0;
+}

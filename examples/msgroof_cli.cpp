@@ -1,0 +1,238 @@
+// msgroof_cli — command-line driver over the whole library: list platforms,
+// run sweeps, solve workloads, and export Chrome traces, without writing C++.
+//
+//   msgroof_cli platforms
+//   msgroof_cli sweep   <platform> <runtime> [--csv out.csv]
+//   msgroof_cli stencil <platform> <ranks> [n] [iters]
+//   msgroof_cli sptrsv  <platform> <ranks> [n]
+//   msgroof_cli hashtable <platform> <ranks> [inserts]
+//   msgroof_cli trace   <platform> <ranks> <out.json>   (stencil run trace)
+//
+// Platforms: perlmutter-cpu frontier-cpu summit-cpu
+//            perlmutter-gpu summit-gpu frontier-gpu
+// Runtimes:  two-sided one-sided shmem cas
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/fit.hpp"
+#include "mpi/comm.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "simnet/platform.hpp"
+#include "simnet/trace_export.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workloads/hashtable/hashtable.hpp"
+#include "workloads/sptrsv/sptrsv.hpp"
+#include "workloads/stencil/stencil.hpp"
+
+namespace {
+
+using namespace mrl;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: msgroof_cli <command> [...]\n"
+      "  platforms\n"
+      "  sweep <platform> <runtime> [--csv out.csv]\n"
+      "  stencil <platform> <ranks> [n] [iters]\n"
+      "  sptrsv <platform> <ranks> [n]\n"
+      "  hashtable <platform> <ranks> [inserts]\n"
+      "  trace <platform> <ranks> <out.json>\n"
+      "platforms: perlmutter-cpu frontier-cpu summit-cpu perlmutter-gpu "
+      "summit-gpu frontier-gpu\n"
+      "runtimes: two-sided one-sided shmem cas\n");
+  std::exit(2);
+}
+
+simnet::Platform pick_platform(const std::string& name) {
+  using simnet::Platform;
+  if (name == "perlmutter-cpu") return Platform::perlmutter_cpu();
+  if (name == "frontier-cpu") return Platform::frontier_cpu();
+  if (name == "summit-cpu") return Platform::summit_cpu();
+  if (name == "perlmutter-gpu") return Platform::perlmutter_gpu();
+  if (name == "summit-gpu") return Platform::summit_gpu();
+  if (name == "frontier-gpu") return Platform::frontier_gpu();
+  std::fprintf(stderr, "unknown platform '%s'\n", name.c_str());
+  usage();
+}
+
+core::SweepKind pick_kind(const std::string& name) {
+  using core::SweepKind;
+  if (name == "two-sided") return SweepKind::kTwoSided;
+  if (name == "one-sided") return SweepKind::kOneSidedMpi;
+  if (name == "shmem") return SweepKind::kShmemPutSignal;
+  if (name == "cas") return SweepKind::kAtomicCas;
+  std::fprintf(stderr, "unknown runtime '%s'\n", name.c_str());
+  usage();
+}
+
+int cmd_platforms() {
+  TextTable t({"name", "max ranks", "kind", "pair peak (0..n-1)",
+               "hw RTT (0..n-1)"});
+  for (const simnet::Platform& p : simnet::Platform::all()) {
+    const int n = p.max_ranks();
+    t.add_row({p.name(), std::to_string(n), p.is_gpu() ? "GPU" : "CPU",
+               format_gbs(p.pair_peak_gbs(0, n - 1, n)),
+               format_time_us(p.hw_rtt_us(0, n - 1, n))});
+  }
+  std::printf("%s", t.render("registered platforms").c_str());
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 4) usage();
+  const simnet::Platform plat = pick_platform(argv[2]);
+  const core::SweepKind kind = pick_kind(argv[3]);
+  std::string csv_path;
+  for (int i = 4; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
+  }
+  core::SweepConfig cfg = core::SweepConfig::defaults(kind);
+  cfg.iters = 4;
+  const auto pts = core::run_sweep(plat, cfg);
+  const auto fit = core::fit_roofline(pts);
+
+  core::RooflineFigure fig(plat.name() + " / " + core::to_string(kind),
+                           fit.params);
+  fig.add_model_curves({1, 100, 10000});
+  fig.add_points("measured", '*', pts);
+  std::printf("%s", fig.render().c_str());
+  if (!csv_path.empty()) {
+    write_csv_file(csv_path, fig.csv_rows());
+    std::printf("[csv] %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_stencil(int argc, char** argv) {
+  if (argc < 4) usage();
+  const simnet::Platform plat = pick_platform(argv[2]);
+  const int ranks = std::atoi(argv[3]);
+  workloads::stencil::Config cfg;
+  cfg.n = argc > 4 ? std::atoi(argv[4]) : 512;
+  cfg.iters = argc > 5 ? std::atoi(argv[5]) : 5;
+  const auto r =
+      plat.is_gpu() ? workloads::stencil::run_shmem_gpu(plat, ranks, cfg)
+                    : workloads::stencil::run_two_sided(plat, ranks, cfg);
+  if (!r.status.is_ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", r.status.to_string().c_str());
+    return 1;
+  }
+  std::printf("stencil %dx%d, %d ranks on %s: %s (verified: %s, comm %s)\n",
+              cfg.n, cfg.n, ranks, plat.name().c_str(),
+              format_time_us(r.time_us).c_str(),
+              r.max_abs_err == 0 ? "bitwise" : "FAILED",
+              format_gbs(r.msgs.sustained_gbs).c_str());
+  return r.max_abs_err == 0 ? 0 : 1;
+}
+
+int cmd_sptrsv(int argc, char** argv) {
+  if (argc < 4) usage();
+  const simnet::Platform plat = pick_platform(argv[2]);
+  const int ranks = std::atoi(argv[3]);
+  workloads::sptrsv::GenConfig g;
+  g.n = argc > 4 ? std::atoi(argv[4]) : 6000;
+  const auto L = workloads::sptrsv::SupernodalMatrix::generate(g);
+  workloads::sptrsv::Config cfg;
+  const auto r =
+      plat.is_gpu() ? workloads::sptrsv::run_shmem_gpu(plat, ranks, L, cfg)
+                    : workloads::sptrsv::run_two_sided(plat, ranks, L, cfg);
+  if (!r.status.is_ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", r.status.to_string().c_str());
+    return 1;
+  }
+  std::printf("sptrsv n=%d (%d supernodes, %llu nnz), %d ranks on %s: %s "
+              "(rel err %.2e)\n",
+              L.n(), L.num_supernodes(),
+              static_cast<unsigned long long>(L.nnz()), ranks,
+              plat.name().c_str(), format_time_us(r.time_us).c_str(),
+              r.rel_err);
+  return r.rel_err < 1e-9 ? 0 : 1;
+}
+
+int cmd_hashtable(int argc, char** argv) {
+  if (argc < 4) usage();
+  const simnet::Platform plat = pick_platform(argv[2]);
+  const int ranks = std::atoi(argv[3]);
+  workloads::hashtable::Config cfg;
+  cfg.total_inserts =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 20000;
+  const auto r =
+      plat.is_gpu() ? workloads::hashtable::run_shmem_gpu(plat, ranks, cfg)
+                    : workloads::hashtable::run_one_sided(plat, ranks, cfg);
+  if (!r.status.is_ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", r.status.to_string().c_str());
+    return 1;
+  }
+  std::printf("hashtable %llu inserts, %d ranks on %s: %s (%s updates/s, "
+              "%llu collisions, verified: %s)\n",
+              static_cast<unsigned long long>(r.inserted), ranks,
+              plat.name().c_str(), format_time_us(r.time_us).c_str(),
+              format_count(static_cast<std::uint64_t>(r.updates_per_sec))
+                  .c_str(),
+              static_cast<unsigned long long>(r.collisions),
+              r.verify_ok ? "yes" : "NO");
+  return r.verify_ok ? 0 : 1;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 5) usage();
+  const simnet::Platform plat = pick_platform(argv[2]);
+  const int ranks = std::atoi(argv[3]);
+  const std::string out = argv[4];
+  workloads::stencil::Config cfg;
+  cfg.n = 256;
+  cfg.iters = 3;
+  runtime::EngineOptions opt;
+  opt.trace = true;
+  runtime::Engine eng(plat, ranks, opt);
+  const auto res = mpi::World::run(eng, [&](mpi::Comm& c) {
+    const auto d =
+        workloads::stencil::make_decomp(cfg.n, c.size(), c.rank(), 0, 0);
+    workloads::stencil::LocalBlock blk(cfg, d);
+    // One quick round of real halo traffic for the trace.
+    const int peers[4] = {d.west, d.east, d.north, d.south};
+    for (int it = 0; it < cfg.iters; ++it) {
+      blk.pack_edges();
+      std::vector<mpi::Request> reqs;
+      for (int s2 = 0; s2 < 4; ++s2) {
+        if (peers[s2] < 0) continue;
+        reqs.push_back(c.isend(blk.out(s2),
+                               blk.edge_count(s2) * sizeof(double), peers[s2],
+                               s2 ^ 1));
+        reqs.push_back(c.irecv(blk.in(s2),
+                               blk.edge_count(s2) * sizeof(double), peers[s2],
+                               s2));
+      }
+      c.waitall(reqs);
+      blk.sweep();
+    }
+  });
+  if (!res.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", res.status.to_string().c_str());
+    return 1;
+  }
+  if (!simnet::export_trace_chrome(eng.trace(), out)) return 1;
+  std::printf("wrote %zu message slices to %s (open in chrome://tracing)\n",
+              eng.trace().records().size(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  if (cmd == "platforms") return cmd_platforms();
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
+  if (cmd == "stencil") return cmd_stencil(argc, argv);
+  if (cmd == "sptrsv") return cmd_sptrsv(argc, argv);
+  if (cmd == "hashtable") return cmd_hashtable(argc, argv);
+  if (cmd == "trace") return cmd_trace(argc, argv);
+  usage();
+}

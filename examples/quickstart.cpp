@@ -1,0 +1,65 @@
+// Quickstart: the msgroof workflow in ~60 lines.
+//
+//   1. pick a platform from the Table I registry,
+//   2. run real MPI-style code on the simulated fabric,
+//   3. sweep sustained bandwidth over the msg/sync grid,
+//   4. fit a Message Roofline and query it.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/fit.hpp"
+#include "core/model.hpp"
+#include "core/sweep.hpp"
+#include "mpi/comm.hpp"
+#include "runtime/engine.hpp"
+#include "simnet/platform.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mrl;
+
+  // 1. A simulated machine: Perlmutter's CPU partition (2x Milan, IF).
+  const simnet::Platform plat = simnet::Platform::perlmutter_cpu();
+  std::printf("platform: %s\n", plat.name().c_str());
+
+  // 2. SPMD code, MPI style. Virtual time comes out of the LogGP fabric.
+  runtime::Engine engine(plat, /*nranks=*/4);
+  const auto run = mpi::World::run(engine, [](mpi::Comm& comm) {
+    double token = 1000.0 + comm.rank();
+    if (comm.rank() == 0) {
+      comm.send(&token, sizeof(token), 1, /*tag=*/0);
+      comm.recv(&token, sizeof(token), comm.size() - 1, 0);
+      std::printf("rank 0 got the ring token back at t=%s (virtual)\n",
+                  format_time_us(comm.now()).c_str());
+    } else {
+      comm.recv(&token, sizeof(token), comm.rank() - 1, 0);
+      comm.send(&token, sizeof(token), (comm.rank() + 1) % comm.size(), 0);
+    }
+  });
+  std::printf("ring makespan: %s, status: %s\n\n",
+              format_time_us(run.makespan_us).c_str(),
+              run.status.to_string().c_str());
+
+  // 3. Bandwidth sweep: 4 sizes x 3 concurrency levels, two-sided MPI.
+  core::SweepConfig cfg;
+  cfg.kind = core::SweepKind::kTwoSided;
+  cfg.msg_sizes = {64, 4096, 262144, 4194304};
+  cfg.msgs_per_sync = {1, 32, 1024};
+  const auto points = core::run_sweep(plat, cfg);
+  for (const auto& p : points) {
+    std::printf("  %10s x %5.0f msg/sync -> %s\n",
+                format_bytes(static_cast<std::uint64_t>(p.bytes)).c_str(),
+                p.msgs_per_sync, format_gbs(p.measured_gbs).c_str());
+  }
+
+  // 4. Fit the Message Roofline and query it.
+  const core::FitResult fit = core::fit_roofline(points);
+  core::RooflineModel model(fit.params);
+  std::printf("\nfitted %s\n", fit.params.to_string().c_str());
+  std::printf("bound for 4 KiB @ 100 msg/sync: %s (headroom over 1 msg/sync: "
+              "%.1fx)\n",
+              format_gbs(model.rounded_gbs(4096, 100)).c_str(),
+              model.overlap_headroom(4096));
+  return 0;
+}

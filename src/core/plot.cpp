@@ -1,0 +1,101 @@
+#include "core/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace mrl::core {
+
+AsciiPlot::AsciiPlot(std::string title, std::string xlabel, std::string ylabel,
+                     int width, int height)
+    : title_(std::move(title)),
+      xlabel_(std::move(xlabel)),
+      ylabel_(std::move(ylabel)),
+      width_(width),
+      height_(height) {
+  MRL_CHECK(width_ >= 20 && height_ >= 8);
+}
+
+void AsciiPlot::add_series(Series s) {
+  MRL_CHECK(s.xs.size() == s.ys.size());
+  series_.push_back(std::move(s));
+}
+
+std::string AsciiPlot::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (s.xs[i] <= 0 || s.ys[i] <= 0) continue;  // log scale: skip
+      any = true;
+      xmin = std::min(xmin, s.xs[i]);
+      xmax = std::max(xmax, s.xs[i]);
+      ymin = std::min(ymin, s.ys[i]);
+      ymax = std::max(ymax, s.ys[i]);
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  if (!any) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  const double lx0 = std::log10(xmin), lx1 = std::log10(xmax * 1.0001);
+  const double ly0 = std::log10(ymin), ly1 = std::log10(ymax * 1.0001);
+  const double xspan = std::max(lx1 - lx0, 1e-9);
+  const double yspan = std::max(ly1 - ly0, 1e-9);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (s.xs[i] <= 0 || s.ys[i] <= 0) continue;
+      const int cx = static_cast<int>((std::log10(s.xs[i]) - lx0) / xspan *
+                                      (width_ - 1));
+      const int cy = static_cast<int>((std::log10(s.ys[i]) - ly0) / yspan *
+                                      (height_ - 1));
+      const int row = height_ - 1 - std::clamp(cy, 0, height_ - 1);
+      const int col = std::clamp(cx, 0, width_ - 1);
+      char& cell = grid[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+      cell = (cell == ' ' || cell == s.symbol) ? s.symbol : '@';
+    }
+  }
+
+  char buf[64];
+  for (int r = 0; r < height_; ++r) {
+    const double ly = ly1 - (ly1 - ly0) * r / (height_ - 1);
+    if (r % 4 == 0 || r == height_ - 1) {
+      std::snprintf(buf, sizeof(buf), "%9.3g |", std::pow(10.0, ly));
+      os << buf;
+    } else {
+      os << "          |";
+    }
+    os << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "          +" << std::string(static_cast<std::size_t>(width_), '-')
+     << '\n';
+  // x tick labels at the edges and middle.
+  std::snprintf(buf, sizeof(buf), "%11.3g", std::pow(10.0, lx0));
+  os << buf;
+  const int mid_pad = width_ / 2 - 8;
+  os << std::string(static_cast<std::size_t>(std::max(1, mid_pad)), ' ');
+  std::snprintf(buf, sizeof(buf), "%.3g", std::pow(10.0, (lx0 + lx1) / 2));
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "%14.3g", std::pow(10.0, lx1));
+  os << std::string(static_cast<std::size_t>(std::max(
+            1, width_ - mid_pad - 20)), ' ')
+     << buf << '\n';
+  os << "   x: " << xlabel_ << "   y: " << ylabel_ << '\n';
+  for (const Series& s : series_) {
+    os << "   [" << s.symbol << "] " << s.label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mrl::core

@@ -1,0 +1,35 @@
+// ASCII log-log plots: every figure bench renders its series in the
+// terminal so the roofline shapes are inspectable without a plotting stack
+// (each bench also dumps CSV for external tools).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrl::core {
+
+struct Series {
+  std::string label;
+  char symbol = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string xlabel, std::string ylabel,
+            int width = 76, int height = 22);
+
+  /// Adds a scatter/line series (points are plotted individually).
+  void add_series(Series s);
+
+  /// Renders grid, log-scale axes with decade ticks, points, and a legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_, xlabel_, ylabel_;
+  int width_, height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace mrl::core

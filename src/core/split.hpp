@@ -1,0 +1,38 @@
+// Message-splitting analysis (paper Fig 10): transmit a fixed message VOLUME
+// as k concurrent smaller put-with-signal messages. On channelized links
+// (NVLink port groups) a single stream rides one lane, so splitting buys
+// aggregate bandwidth until per-message overhead dominates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/platform.hpp"
+
+namespace mrl::core {
+
+struct SplitPoint {
+  std::uint64_t volume_bytes = 0;  ///< total bytes per sync window
+  int ways = 1;                    ///< number of concurrent messages
+  double time_us = 0;              ///< one sync window (puts + quiet)
+  double gbs = 0;
+  double speedup_vs_1 = 0;         ///< filled by run_split_sweep
+};
+
+struct SplitConfig {
+  std::vector<std::uint64_t> volumes;  ///< default 1 KiB .. 16 MiB
+  std::vector<int> ways;               ///< default {1, 2, 4, 8}
+  int iters = 8;
+  int sender = 0;
+  int receiver = 1;
+  int nranks = 2;
+
+  static SplitConfig defaults();
+};
+
+/// Runs the split sweep with SHMEM put-with-signal on `platform` (meant for
+/// the GPU platforms; works on any).
+std::vector<SplitPoint> run_split_sweep(const simnet::Platform& platform,
+                                        const SplitConfig& cfg);
+
+}  // namespace mrl::core

@@ -1,0 +1,237 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/fit.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/win.hpp"
+#include "shmem/shmem.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace mrl::core {
+
+std::string to_string(SweepKind k) {
+  switch (k) {
+    case SweepKind::kTwoSided: return "two-sided MPI";
+    case SweepKind::kOneSidedMpi: return "one-sided MPI";
+    case SweepKind::kShmemPutSignal: return "SHMEM put-with-signal";
+    case SweepKind::kAtomicCas: return "atomic CAS";
+  }
+  return "unknown";
+}
+
+SweepConfig SweepConfig::defaults(SweepKind kind) {
+  SweepConfig cfg;
+  cfg.kind = kind;
+  for (std::uint64_t b = 8; b <= (4u << 20); b *= 4) cfg.msg_sizes.push_back(b);
+  for (std::uint64_t m = 1; m <= 10000; m *= 10) cfg.msgs_per_sync.push_back(m);
+  return cfg;
+}
+
+namespace {
+
+/// One grid point: returns sender-side elapsed virtual microseconds.
+constexpr std::uint64_t kSlots = 8;  // buffer slots reused modulo the window
+
+double run_two_sided_point(const simnet::Platform& plat, const SweepConfig& cfg,
+                           std::uint64_t bytes, std::uint64_t m, int iters) {
+  runtime::Engine eng(plat, cfg.nranks);
+  const std::uint64_t slots = std::min(m, kSlots);
+  double elapsed = 0;
+  const auto res = mpi::World::run(eng, [&](mpi::Comm& c) {
+    c.world().capture_payloads = false;  // timing-only transfers
+    std::vector<std::byte> buf(bytes * slots);
+    std::byte ack{};
+    c.barrier();
+    const double t0 = c.now();
+    if (c.rank() == cfg.sender) {
+      for (int it = 0; it < iters; ++it) {
+        std::vector<mpi::Request> reqs;
+        reqs.reserve(m);
+        for (std::uint64_t j = 0; j < m; ++j) {
+          reqs.push_back(c.isend(buf.data() + (j % slots) * bytes, bytes,
+                                 cfg.receiver, 0));
+        }
+        c.waitall(reqs);
+        c.recv(&ack, 1, cfg.receiver, 1);  // window ack = the synchronization
+      }
+      elapsed = c.now() - t0;
+    } else if (c.rank() == cfg.receiver) {
+      for (int it = 0; it < iters; ++it) {
+        std::vector<mpi::Request> reqs;
+        reqs.reserve(m);
+        for (std::uint64_t j = 0; j < m; ++j) {
+          reqs.push_back(c.irecv(buf.data() + (j % slots) * bytes, bytes,
+                                 cfg.sender, 0));
+        }
+        c.waitall(reqs);
+        c.send(&ack, 1, cfg.sender, 1);
+      }
+    }
+    c.barrier();
+  });
+  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  return elapsed;
+}
+
+double run_one_sided_point(const simnet::Platform& plat, const SweepConfig& cfg,
+                           std::uint64_t bytes, std::uint64_t m, int iters) {
+  runtime::Engine eng(plat, cfg.nranks);
+  const std::uint64_t slots = std::min(m, kSlots);
+  double elapsed = 0;
+  const auto res = mpi::World::run(eng, [&](mpi::Comm& c) {
+    c.world().capture_payloads = false;  // timing-only transfers
+    std::vector<std::byte> exposure(bytes * slots);
+    std::vector<std::byte> origin(bytes * slots);
+    mpi::WinHandle win = c.create_win(exposure.data(), exposure.size());
+    c.barrier();
+    const double t0 = c.now();
+    if (c.rank() == cfg.sender) {
+      for (int it = 0; it < iters; ++it) {
+        for (std::uint64_t j = 0; j < m; ++j) {
+          win.put(origin.data() + (j % slots) * bytes, bytes, cfg.receiver,
+                  (j % slots) * bytes);
+        }
+        win.flush(cfg.receiver);  // remote completion = the synchronization
+      }
+      elapsed = c.now() - t0;
+    }
+    c.barrier();
+  });
+  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  return elapsed;
+}
+
+double run_shmem_point(const simnet::Platform& plat, const SweepConfig& cfg,
+                       std::uint64_t bytes, std::uint64_t m, int iters) {
+  runtime::Engine eng(plat, cfg.nranks);
+  const std::uint64_t slots = std::min(m, kSlots);
+  double elapsed = 0;
+  shmem::World::Options opt;
+  opt.heap_bytes =
+      std::max<std::uint64_t>(bytes * slots + (slots + 1) * 8, 1u << 20);
+  opt.capture_payloads = false;  // timing-only transfers
+  const auto res = shmem::World::run(
+      eng,
+      [&](shmem::Ctx& s) {
+        auto data = s.allocate<std::byte>(bytes * slots);
+        auto sig = s.allocate<std::uint64_t>(slots);
+        std::vector<std::byte> origin(bytes);
+        s.barrier_all();
+        const double t0 = s.now();
+        if (s.pe() == cfg.sender) {
+          for (int it = 0; it < iters; ++it) {
+            for (std::uint64_t j = 0; j < m; ++j) {
+              s.put_signal_nbi(data.at((j % slots) * bytes), origin.data(),
+                               bytes, sig.at(j % slots), 1, cfg.receiver);
+            }
+            s.quiet();  // remote completion = the synchronization
+          }
+          elapsed = s.now() - t0;
+        }
+        s.barrier_all();
+      },
+      opt);
+  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  return elapsed;
+}
+
+double run_cas_point(const simnet::Platform& plat, const SweepConfig& cfg,
+                     std::uint64_t /*bytes*/, std::uint64_t m, int iters) {
+  runtime::Engine eng(plat, cfg.nranks);
+  const std::uint64_t slots = std::min(m, kSlots);
+  double elapsed = 0;
+  const auto res = shmem::World::run(eng, [&](shmem::Ctx& s) {
+    auto word = s.allocate<std::uint64_t>(slots);
+    s.barrier_all();
+    const double t0 = s.now();
+    if (s.pe() == cfg.sender) {
+      for (int it = 0; it < iters; ++it) {
+        for (std::uint64_t j = 0; j < m; ++j) {
+          s.atomic_compare_swap(word.at(j % slots), 0, 1, cfg.receiver);
+        }
+      }
+      elapsed = s.now() - t0;
+    }
+    s.barrier_all();
+  });
+  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  return elapsed;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
+                                  const SweepConfig& cfg) {
+  MRL_CHECK(cfg.iters >= 1 && cfg.nranks >= 2);
+  MRL_CHECK(cfg.sender != cfg.receiver);
+  std::vector<SweepPoint> out;
+  for (std::uint64_t bytes : cfg.msg_sizes) {
+    for (std::uint64_t m : cfg.msgs_per_sync) {
+      // Keep the total op count per grid point bounded: big windows need few
+      // repetitions for a stable sustained-bandwidth estimate.
+      const int iters = static_cast<int>(std::clamp<std::uint64_t>(
+          20000 / std::max<std::uint64_t>(1, m), 2,
+          std::max<std::uint64_t>(2, static_cast<std::uint64_t>(cfg.iters))));
+      double elapsed = 0;
+      switch (cfg.kind) {
+        case SweepKind::kTwoSided:
+          elapsed = run_two_sided_point(platform, cfg, bytes, m, iters);
+          break;
+        case SweepKind::kOneSidedMpi:
+          elapsed = run_one_sided_point(platform, cfg, bytes, m, iters);
+          break;
+        case SweepKind::kShmemPutSignal:
+          elapsed = run_shmem_point(platform, cfg, bytes, m, iters);
+          break;
+        case SweepKind::kAtomicCas:
+          elapsed = run_cas_point(platform, cfg, bytes, m, iters);
+          break;
+      }
+      const double total_bytes =
+          static_cast<double>(bytes) * static_cast<double>(m) * iters;
+      SweepPoint pt;
+      pt.bytes = static_cast<double>(bytes);
+      pt.msgs_per_sync = static_cast<double>(m);
+      pt.measured_gbs = bytes_per_us_to_gbs(total_bytes, elapsed);
+      pt.eff_latency_us =
+          elapsed / (static_cast<double>(m) * static_cast<double>(iters));
+      out.push_back(pt);
+    }
+  }
+  return out;
+}
+
+double measure_cas_latency_us(const simnet::Platform& platform, int nranks,
+                              int origin, int target, int reps) {
+  MRL_CHECK(origin != target && reps > 0);
+  runtime::Engine eng(platform, nranks);
+  double elapsed = 0;
+  const auto res = shmem::World::run(eng, [&](shmem::Ctx& s) {
+    auto word = s.allocate<std::uint64_t>(1);
+    s.barrier_all();
+    const double t0 = s.now();
+    if (s.pe() == origin) {
+      for (int i = 0; i < reps; ++i) {
+        s.atomic_compare_swap(word, static_cast<std::uint64_t>(i),
+                              static_cast<std::uint64_t>(i + 1), target);
+      }
+      elapsed = s.now() - t0;
+    }
+    s.barrier_all();
+  });
+  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  return elapsed / reps;
+}
+
+RooflineParams calibrate_roofline(const simnet::Platform& platform,
+                                  SweepKind kind) {
+  SweepConfig cfg = SweepConfig::defaults(kind);
+  cfg.iters = 4;
+  const std::vector<SweepPoint> pts = run_sweep(platform, cfg);
+  return fit_roofline(pts).params;
+}
+
+}  // namespace mrl::core

@@ -1,0 +1,58 @@
+// Bandwidth sweep drivers: run real communication code on the simulated
+// fabric over a (message size x messages-per-sync) grid and report sustained
+// bandwidth — the "empirical dots" of the paper's Figs 1, 3, 4.
+//
+// Benchmark shapes (windowed, like osu_bw):
+//   two-sided      — sender: m x MPI_Isend + Waitall + wait for 0-byte ack;
+//                    receiver: m x Irecv + Waitall + Isend(ack).
+//   one-sided MPI  — origin: m x MPI_Put + MPI_Win_flush(target); the flush
+//                    waits for remote completion, giving intrinsic
+//                    back-pressure (no ack message needed).
+//   SHMEM          — PE: m x put_signal_nbi + quiet.
+//   atomic CAS     — m blocking compare-and-swaps (latency probe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "simnet/platform.hpp"
+
+namespace mrl::core {
+
+enum class SweepKind {
+  kTwoSided,
+  kOneSidedMpi,
+  kShmemPutSignal,
+  kAtomicCas,
+};
+
+std::string to_string(SweepKind k);
+
+struct SweepConfig {
+  SweepKind kind = SweepKind::kTwoSided;
+  std::vector<std::uint64_t> msg_sizes;       ///< bytes per message
+  std::vector<std::uint64_t> msgs_per_sync;   ///< the concurrency axis
+  int iters = 10;                             ///< sync windows per point
+  int nranks = 2;
+  int sender = 0;
+  int receiver = 1;
+
+  /// Default grid: sizes 8 B .. 4 MiB (x4), msg/sync 1 .. 1e4 (x10).
+  static SweepConfig defaults(SweepKind kind);
+};
+
+/// Runs the sweep on `platform`; one engine run per grid point.
+std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
+                                  const SweepConfig& cfg);
+
+/// Mean latency of one blocking remote atomic CAS between two ranks
+/// (Fig 4's 0.8 us / 1.0 us / 1.6 us probes).
+double measure_cas_latency_us(const simnet::Platform& platform, int nranks,
+                              int origin, int target, int reps = 64);
+
+/// Fits roofline parameters from a fresh sweep on the platform.
+RooflineParams calibrate_roofline(const simnet::Platform& platform,
+                                  SweepKind kind);
+
+}  // namespace mrl::core

@@ -1,0 +1,103 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpi/win.hpp"
+#include "util/status.hpp"
+
+namespace mrl::mpi {
+
+World::World(runtime::Engine& engine)
+    : engine_(engine), nranks_(engine.nranks()) {
+  mailbox_.resize(static_cast<std::size_t>(nranks_));
+  fifo_last_.assign(static_cast<std::size_t>(nranks_) * nranks_, 0.0);
+  fifo_seq_.assign(static_cast<std::size_t>(nranks_) * nranks_, 0);
+}
+
+simnet::TimeUs World::clamp_fifo(int src, int dst, simnet::TimeUs arrival) {
+  const std::size_t idx =
+      static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+      static_cast<std::size_t>(dst);
+  fifo_last_[idx] = std::max(fifo_last_[idx], arrival);
+  return fifo_last_[idx];
+}
+
+runtime::RunResult World::run(runtime::Engine& engine,
+                              const std::function<void(Comm&)>& body) {
+  World world(engine);
+  return engine.run([&world, &body](runtime::Rank& rank) {
+    Comm comm(&world, &rank);
+    body(comm);
+  });
+}
+
+const simnet::LogGP& Comm::p2p_params() const {
+  return world_->engine_.platform().params(world_->p2p_runtime);
+}
+
+const simnet::LogGP& Comm::rma_params() const {
+  return world_->engine_.platform().params(world_->rma_runtime);
+}
+
+WinHandle Comm::create_win(void* base, std::uint64_t bytes) {
+  const int idx = wins_created_++;
+  Win* win = nullptr;
+  world_->engine_.perform(*rank_, [&] {
+    if (static_cast<std::size_t>(idx) >= world_->windows_.size()) {
+      world_->windows_.push_back(
+          std::make_unique<Win>(world_, world_->nranks_));
+    }
+    win = world_->windows_[static_cast<std::size_t>(idx)].get();
+    win->region_[static_cast<std::size_t>(rank())] =
+        Win::Region{static_cast<std::byte*>(base), bytes};
+  });
+  barrier();  // window is usable only after everyone exposed their region
+  return WinHandle(win, this);
+}
+
+const World::CollSlot& Comm::collective(double cost_us, double sum_contrib,
+                                        double max_contrib,
+                                        const void* payload,
+                                        std::uint64_t payload_bytes) {
+  World::Rendezvous& rv = world_->coll_;
+  std::uint64_t my_gen = 0;
+  world_->engine_.perform(*rank_, [&] {
+    if (rv.entered == 0) {
+      rv.acc_sum = 0;
+      rv.acc_max = -std::numeric_limits<double>::infinity();
+      rv.max_enter = 0;
+      rv.payload.clear();
+    }
+    my_gen = rv.generation;
+    ++rv.entered;
+    rv.max_enter = std::max(rv.max_enter, rank_->now());
+    rv.acc_sum += sum_contrib;
+    rv.acc_max = std::max(rv.acc_max, max_contrib);
+    if (payload != nullptr && payload_bytes > 0) {
+      const auto* p = static_cast<const std::byte*>(payload);
+      rv.payload.assign(p, p + payload_bytes);
+    }
+    if (rv.entered == world_->nranks_) {
+      World::CollSlot& slot = rv.done[my_gen % rv.done.size()];
+      slot.gen = my_gen;
+      slot.done_at = rv.max_enter + cost_us;
+      slot.sum = rv.acc_sum;
+      slot.max = rv.acc_max;
+      slot.payload = std::move(rv.payload);
+      rv.payload.clear();
+      rv.entered = 0;
+      ++rv.generation;
+    }
+  });
+  const World::CollSlot& slot = rv.done[my_gen % rv.done.size()];
+  world_->engine_.wait(*rank_, "collective", [&]() -> std::optional<double> {
+    if (rv.generation <= my_gen) return std::nullopt;
+    MRL_CHECK_MSG(slot.gen == my_gen, "collective result slot overwritten");
+    return slot.done_at;
+  });
+  rank_->bump_epoch();
+  return slot;
+}
+
+}  // namespace mrl::mpi

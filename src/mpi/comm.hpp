@@ -1,0 +1,146 @@
+// minimpi: an MPI-shaped two-sided + one-sided communication runtime running
+// on the msgroof virtual-time engine.
+//
+// The API mirrors the subset of MPI the paper's three workloads use:
+// Isend/Irecv/Send/Recv (with ANY_SOURCE / ANY_TAG), Wait/Waitall, RMA
+// windows with Put / fence / flush / flush_local / compare-and-swap /
+// fetch-add, and Barrier / Allreduce / Bcast collectives. Every operation
+// charges the issuing rank the per-op LogGP overhead `o` of its runtime
+// flavor, so the paper's "one-sided needs 4 MPI operations per message"
+// penalty is emergent, not hard-coded.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "runtime/engine.hpp"
+#include "simnet/loggp.hpp"
+
+namespace mrl::mpi {
+
+class Comm;
+class Win;
+class WinHandle;
+
+/// Shared state for one communicator world: mailboxes, FIFO clamps,
+/// collective rendezvous, and RMA windows. Created by World::run().
+class World {
+ public:
+  /// Runs `body` as an SPMD program over `engine`'s ranks.
+  static runtime::RunResult run(runtime::Engine& engine,
+                                const std::function<void(Comm&)>& body);
+
+  /// One-sided runtime flavor used for RMA op costs (default kOneSidedMpi).
+  simnet::Runtime rma_runtime = simnet::Runtime::kOneSidedMpi;
+  /// Two-sided runtime flavor used for p2p costs.
+  simnet::Runtime p2p_runtime = simnet::Runtime::kTwoSidedMpi;
+  /// When false, message/put payloads are not captured or delivered (timing
+  /// only) — used by bandwidth sweeps whose data content is irrelevant.
+  bool capture_payloads = true;
+
+ private:
+  friend class Comm;
+  friend class Win;
+
+  explicit World(runtime::Engine& engine);
+
+  /// Per-(src,dst) in-order delivery: arrivals are clamped to be
+  /// nondecreasing, modeling FIFO network paths.
+  simnet::TimeUs clamp_fifo(int src, int dst, simnet::TimeUs arrival);
+
+  runtime::Engine& engine_;
+  int nranks_;
+  std::vector<std::deque<Msg>> mailbox_;          // per dst rank
+  std::vector<simnet::TimeUs> fifo_last_;         // [src * n + dst]
+  std::vector<std::uint64_t> fifo_seq_;           // [src * n + dst]
+
+  // Collective rendezvous state (single communicator). Results are kept in a
+  // small generation-indexed ring so late wakers of generation g can still
+  // read their result after generation g+1 has started.
+  struct CollSlot {
+    std::uint64_t gen = ~0ULL;
+    simnet::TimeUs done_at = 0;
+    double sum = 0;
+    double max = 0;
+    std::vector<std::byte> payload;
+  };
+  struct Rendezvous {
+    std::uint64_t generation = 0;
+    int entered = 0;
+    simnet::TimeUs max_enter = 0;
+    double acc_sum = 0;
+    double acc_max = 0;
+    std::vector<std::byte> payload;
+    std::array<CollSlot, 4> done;
+  };
+  Rendezvous coll_;
+
+  std::vector<std::unique_ptr<Win>> windows_;
+};
+
+/// Per-rank communicator handle (rank-local view of the World).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_->id(); }
+  [[nodiscard]] int size() const { return world_->nranks_; }
+  [[nodiscard]] simnet::TimeUs now() const { return rank_->now(); }
+
+  /// Charges local compute virtual time.
+  void compute(double us) { rank_->advance(us); }
+
+  [[nodiscard]] runtime::Rank& rank_ctx() { return *rank_; }
+  [[nodiscard]] World& world() { return *world_; }
+
+  // --- two-sided ---
+  Request isend(const void* buf, std::uint64_t bytes, int dst, int tag);
+  Request irecv(void* buf, std::uint64_t bytes, int src = kAnySource,
+                int tag = kAnyTag);
+  void send(const void* buf, std::uint64_t bytes, int dst, int tag);
+  RecvInfo recv(void* buf, std::uint64_t bytes, int src = kAnySource,
+                int tag = kAnyTag);
+  void wait(Request& req);
+  void waitall(std::span<Request> reqs);
+
+  // --- collectives (modeled cost: log2(P) rounds of (2o + L)) ---
+  void barrier();
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  void bcast(void* buf, std::uint64_t bytes, int root);
+
+  // --- one-sided ---
+  /// Collective window creation; every rank passes its local exposure
+  /// region. Returns a per-rank handle to the same window.
+  WinHandle create_win(void* base, std::uint64_t bytes);
+
+ private:
+  friend class World;
+  friend class Win;
+  Comm(World* world, runtime::Rank* rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] const simnet::LogGP& p2p_params() const;
+  [[nodiscard]] const simnet::LogGP& rma_params() const;
+
+  /// Blocks until a matching message exists, consumes it, copies the payload
+  /// and returns its info; rank clock advances to the arrival time.
+  RecvInfo match_and_consume(void* buf, std::uint64_t max_bytes, int src,
+                             int tag);
+
+  /// Modeled-cost collective rendezvous. Contributes the reduction values
+  /// (and, for the root, the broadcast payload), blocks until every rank has
+  /// entered, and returns the completed generation's result slot.
+  const World::CollSlot& collective(double cost_us, double sum_contrib,
+                                    double max_contrib, const void* payload,
+                                    std::uint64_t payload_bytes);
+
+  World* world_;
+  runtime::Rank* rank_;
+  int wins_created_ = 0;  ///< per-rank collective create_win counter
+};
+
+}  // namespace mrl::mpi

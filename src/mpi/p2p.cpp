@@ -1,0 +1,156 @@
+// Two-sided point-to-point: eager-protocol Isend/Irecv with FIFO delivery
+// and MPI-style (source, tag) matching including ANY_SOURCE / ANY_TAG.
+#include <cstring>
+
+#include "mpi/comm.hpp"
+#include "util/status.hpp"
+
+namespace mrl::mpi {
+
+namespace {
+bool matches(const Msg& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+}  // namespace
+
+Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  MRL_CHECK(dst >= 0 && dst < size());
+  MRL_CHECK(tag >= 0);
+  const simnet::LogGP& pp = p2p_params();
+  rank_->advance(pp.o_us);  // sender overhead
+
+  Request req;
+  req.kind_ = Request::Kind::kSend;
+  auto& eng = world_->engine_;
+  eng.perform(*rank_, [&] {
+    simnet::TransferParams tp;
+    tp.src_ep = rank_->endpoint();
+    tp.dst_ep = eng.platform().endpoint_of_rank(dst, size());
+    tp.src_rank = rank();
+    tp.pump_gbs = eng.platform().rank_pump_gbs();
+    tp.bytes = bytes;
+    tp.start_us = rank_->now();
+    tp.sw_latency_us = pp.L_us;
+    tp.inj_gap_us = pp.g_us;
+    tp.per_stream_gbs = pp.per_stream_gbs;
+    const simnet::TransferResult tr = eng.fabric().transfer(tp);
+
+    const std::size_t pair =
+        static_cast<std::size_t>(rank()) * static_cast<std::size_t>(size()) +
+        static_cast<std::size_t>(dst);
+    Msg m;
+    m.src = rank();
+    m.tag = tag;
+    m.seq = world_->fifo_seq_[pair]++;
+    m.arrival_us = world_->clamp_fifo(rank(), dst, tr.arrival_us);
+    m.bytes = bytes;
+    if (bytes > 0 && world_->capture_payloads) {
+      const auto* p = static_cast<const std::byte*>(buf);
+      m.payload.assign(p, p + bytes);
+    }
+    eng.trace().record(simnet::MsgRecord{rank(), dst, bytes, rank_->now(),
+                                         m.arrival_us, simnet::OpKind::kSend,
+                                         rank_->epoch()});
+    world_->mailbox_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+    req.send_complete_us = tr.inject_free_us;
+  });
+  req.done_ = false;
+  return req;
+}
+
+Request Comm::irecv(void* buf, std::uint64_t bytes, int src, int tag) {
+  MRL_CHECK(src == kAnySource || (src >= 0 && src < size()));
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.buf = buf;
+  req.max_bytes = bytes;
+  req.src = src;
+  req.tag = tag;
+  return req;  // matching happens at wait time (in post order)
+}
+
+RecvInfo Comm::match_and_consume(void* buf, std::uint64_t max_bytes, int src,
+                                 int tag) {
+  auto& eng = world_->engine_;
+  auto& box = world_->mailbox_[static_cast<std::size_t>(rank())];
+
+  // Earliest-arriving matching message; FIFO clamping already guarantees
+  // per-sender non-overtaking, so min-arrival is a valid MPI match order.
+  auto find_best = [&]() -> std::deque<Msg>::iterator {
+    auto best = box.end();
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (!matches(*it, src, tag)) continue;
+      if (best == box.end() || it->arrival_us < best->arrival_us ||
+          (it->arrival_us == best->arrival_us && it->src < best->src)) {
+        best = it;
+      }
+    }
+    return best;
+  };
+
+  RecvInfo info;
+  eng.wait(
+      *rank_, "recv",
+      [&]() -> std::optional<double> {
+        auto best = find_best();
+        if (best == box.end()) return std::nullopt;
+        return best->arrival_us;
+      },
+      [&] {
+        auto best = find_best();
+        MRL_CHECK(best != box.end());
+        MRL_CHECK_MSG(best->bytes <= max_bytes,
+                      "receive buffer too small for matched message");
+        if (!best->payload.empty()) {
+          std::memcpy(buf, best->payload.data(), best->payload.size());
+        }
+        info.src = best->src;
+        info.tag = best->tag;
+        info.bytes = best->bytes;
+        info.arrival_us = best->arrival_us;
+        box.erase(best);
+      });
+  rank_->advance(p2p_params().o_us);  // receiver overhead
+  return info;
+}
+
+void Comm::wait(Request& req) {
+  switch (req.kind()) {
+    case Request::Kind::kSend:
+      if (!req.done_) {
+        if (req.send_complete_us > rank_->now()) {
+          rank_->advance(req.send_complete_us - rank_->now());
+        }
+        req.done_ = true;
+      }
+      break;
+    case Request::Kind::kRecv:
+      if (!req.done_) {
+        req.info_ =
+            match_and_consume(req.buf, req.max_bytes, req.src, req.tag);
+        req.done_ = true;
+      }
+      break;
+    case Request::Kind::kInvalid:
+      MRL_CHECK_MSG(false, "wait on invalid request");
+  }
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (Request& r : reqs) wait(r);
+  rank_->bump_epoch();
+}
+
+void Comm::send(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  Request r = isend(buf, bytes, dst, tag);
+  wait(r);
+}
+
+RecvInfo Comm::recv(void* buf, std::uint64_t bytes, int src, int tag) {
+  RecvInfo info = match_and_consume(buf, bytes, src, tag);
+  rank_->bump_epoch();
+  return info;
+}
+
+}  // namespace mrl::mpi

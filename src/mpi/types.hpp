@@ -1,0 +1,61 @@
+// Shared minimpi constants and small value types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace mrl::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completion info for a receive (the MPI_Status essentials).
+struct RecvInfo {
+  int src = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+  simnet::TimeUs arrival_us = 0;
+};
+
+/// A message sitting in a rank's mailbox awaiting a matching receive.
+struct Msg {
+  int src = -1;
+  int tag = 0;
+  std::uint64_t seq = 0;  ///< per (src,dst) FIFO sequence
+  simnet::TimeUs arrival_us = 0;
+  std::uint64_t bytes = 0;           ///< logical message size
+  std::vector<std::byte> payload;    ///< empty when payload capture is off
+};
+
+/// Nonblocking-operation handle. Move-only value; completed by wait/waitall.
+class Request {
+ public:
+  enum class Kind { kInvalid, kSend, kRecv };
+
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] const RecvInfo& info() const { return info_; }
+
+ private:
+  friend class Comm;
+  Kind kind_ = Kind::kInvalid;
+  bool done_ = false;
+  // Send: when the local buffer is reusable (eager injection complete).
+  simnet::TimeUs send_complete_us = 0;
+  // Recv: destination buffer and matching selectors.
+  void* buf = nullptr;
+  std::uint64_t max_bytes = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  RecvInfo info_;
+};
+
+}  // namespace mrl::mpi

@@ -1,0 +1,276 @@
+#include "mpi/win.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "mpi/comm.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace mrl::mpi {
+
+Win::Win(World* world, int nranks) : world_(world), nranks_(nranks) {
+  region_.resize(static_cast<std::size_t>(nranks_));
+  pending_.resize(static_cast<std::size_t>(nranks_));
+  outstanding_.resize(static_cast<std::size_t>(nranks_));
+}
+
+void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
+              std::uint64_t target_off, simnet::OpKind kind) {
+  MRL_CHECK(target >= 0 && target < nranks_);
+  const simnet::LogGP& pp = c.rma_params();
+  c.rank_ctx().advance(pp.o_us);
+
+  auto& eng = world_->engine_;
+  eng.perform(c.rank_ctx(), [&] {
+    const Region& tr = region_[static_cast<std::size_t>(target)];
+    MRL_CHECK_MSG(tr.base != nullptr, "put to unexposed window region");
+    MRL_CHECK_MSG(target_off + bytes <= tr.size, "put out of window bounds");
+
+    simnet::TransferParams tp;
+    tp.src_ep = c.rank_ctx().endpoint();
+    tp.dst_ep = eng.platform().endpoint_of_rank(target, c.size());
+    tp.src_rank = c.rank();
+    tp.pump_gbs = eng.platform().rank_pump_gbs();
+    tp.bytes = bytes;
+    tp.start_us = c.now();
+    tp.sw_latency_us = pp.L_us;
+    tp.inj_gap_us = pp.g_us;
+    tp.per_stream_gbs = pp.per_stream_gbs;
+    const simnet::TransferResult res = eng.fabric().transfer(tp);
+    const simnet::TimeUs arrival =
+        world_->clamp_fifo(c.rank(), target, res.arrival_us);
+
+    PendingPut pp2;
+    pp2.off = target_off;
+    pp2.bytes = bytes;
+    if (world_->capture_payloads) {
+      const auto* p = static_cast<const std::byte*>(origin);
+      pp2.data.assign(p, p + bytes);
+    }
+    pp2.arrival = arrival;
+    pp2.seq = put_seq_++;
+    pending_[static_cast<std::size_t>(target)].push_back(std::move(pp2));
+
+    outstanding_[static_cast<std::size_t>(c.rank())].push_back(
+        Outstanding{target, arrival, res.inject_free_us});
+    eng.trace().record(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
+                                         arrival, kind,
+                                         c.rank_ctx().epoch()});
+  });
+}
+
+void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
+              std::uint64_t target_off) {
+  MRL_CHECK(target >= 0 && target < nranks_);
+  const simnet::LogGP& pp = c.rma_params();
+  c.rank_ctx().advance(pp.o_us);
+  auto& eng = world_->engine_;
+  double total_us = 0;
+  eng.perform(c.rank_ctx(), [&] {
+    const Region& tr = region_[static_cast<std::size_t>(target)];
+    MRL_CHECK_MSG(tr.base != nullptr, "get from unexposed window region");
+    MRL_CHECK_MSG(target_off + bytes <= tr.size, "get out of window bounds");
+    // Request/response: software latency + hardware RTT + payload stream-in.
+    const double rtt =
+        eng.platform().hw_rtt_us(c.rank(), target, c.size());
+    const double pair_bw =
+        eng.platform().pair_peak_gbs(c.rank(), target, c.size());
+    const double ser = static_cast<double>(bytes) * gbs_to_us_per_byte(pair_bw);
+    total_us = pp.L_us + rtt + ser;
+    // Reads current contents: arrived-but-unapplied puts are not visible,
+    // matching our separate-memory RMA model.
+    std::memcpy(dest, tr.base + target_off, bytes);
+    eng.trace().record(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
+                                         c.now() + total_us,
+                                         simnet::OpKind::kPut,
+                                         c.rank_ctx().epoch()});
+  });
+  c.rank_ctx().advance(total_us);
+}
+
+void Win::flush(Comm& c, int target) {
+  const simnet::LogGP& pp = c.rma_params();
+  c.rank_ctx().advance(pp.o_us);
+  auto& eng = world_->engine_;
+  eng.perform(c.rank_ctx(), [&] {
+    auto& outs = outstanding_[static_cast<std::size_t>(c.rank())];
+    simnet::TimeUs done = c.now();
+    auto it = std::remove_if(outs.begin(), outs.end(), [&](const Outstanding& o) {
+      if (target != -1 && o.target != target) return false;
+      done = std::max(done, o.remote_done);
+      return true;
+    });
+    outs.erase(it, outs.end());
+    if (done > c.now()) c.rank_ctx().advance(done - c.now());
+  });
+  c.rank_ctx().bump_epoch();
+}
+
+void Win::flush_all(Comm& c) { flush(c, -1); }
+
+void Win::flush_local(Comm& c, int target) {
+  const simnet::LogGP& pp = c.rma_params();
+  c.rank_ctx().advance(pp.o_us);
+  auto& eng = world_->engine_;
+  eng.perform(c.rank_ctx(), [&] {
+    simnet::TimeUs done = c.now();
+    for (const Outstanding& o :
+         outstanding_[static_cast<std::size_t>(c.rank())]) {
+      if (target != -1 && o.target != target) continue;
+      done = std::max(done, o.local_done);
+    }
+    if (done > c.now()) c.rank_ctx().advance(done - c.now());
+  });
+}
+
+void Win::flush_local_all(Comm& c) { flush_local(c, -1); }
+
+void Win::apply_pending_locked(int rank, simnet::TimeUs cutoff) {
+  auto& pend = pending_[static_cast<std::size_t>(rank)];
+  if (pend.empty()) return;
+  std::vector<PendingPut> ready;
+  auto it = std::partition(pend.begin(), pend.end(), [&](const PendingPut& p) {
+    return p.arrival > cutoff;  // keep not-yet-arrived in place
+  });
+  ready.assign(std::make_move_iterator(it), std::make_move_iterator(pend.end()));
+  pend.erase(it, pend.end());
+  std::sort(ready.begin(), ready.end(),
+            [](const PendingPut& a, const PendingPut& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival
+                                            : a.seq < b.seq;
+            });
+  const Region& reg = region_[static_cast<std::size_t>(rank)];
+  for (const PendingPut& p : ready) {
+    if (!p.data.empty()) {
+      std::memcpy(reg.base + p.off, p.data.data(), p.data.size());
+    }
+  }
+}
+
+void Win::sync(Comm& c) {
+  world_->engine_.perform(c.rank_ctx(), [&] {
+    apply_pending_locked(c.rank(), c.now());
+  });
+}
+
+void Win::wait_any_unapplied(Comm& c) {
+  auto& eng = world_->engine_;
+  auto& pend = pending_[static_cast<std::size_t>(c.rank())];
+  eng.wait(
+      c.rank_ctx(), "win.wait_any_unapplied",
+      [&]() -> std::optional<double> {
+        if (pend.empty()) return std::nullopt;
+        double first = pend.front().arrival;
+        for (const PendingPut& p : pend) first = std::min(first, p.arrival);
+        return first;
+      },
+      [&] { apply_pending_locked(c.rank(), c.now()); });
+}
+
+std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
+                              std::uint64_t operand, std::uint64_t compare,
+                              bool is_cas) {
+  MRL_CHECK(target >= 0 && target < nranks_);
+  const simnet::LogGP& pp = c.rma_params();
+  c.rank_ctx().advance(pp.atomic_o());
+  auto& eng = world_->engine_;
+  std::uint64_t old = 0;
+  double total_us = 0;
+  eng.perform(c.rank_ctx(), [&] {
+    const Region& tr = region_[static_cast<std::size_t>(target)];
+    MRL_CHECK_MSG(tr.base != nullptr, "atomic on unexposed window region");
+    MRL_CHECK_MSG(target_off + 8 <= tr.size, "atomic out of window bounds");
+    // Linearize in issue order: apply now, charge the round trip to the
+    // origin. Atomics act on committed memory directly (they are performed
+    // by the target NIC/agent, not subject to the put visibility epoch).
+    std::uint64_t* p =
+        reinterpret_cast<std::uint64_t*>(tr.base + target_off);
+    old = *p;
+    if (is_cas) {
+      if (old == compare) *p = operand;
+    } else {
+      *p = old + operand;
+    }
+    // Request/response through the fabric: atomics contend on link lanes
+    // (e.g. the Summit X-Bus per-transaction occupancy) but skip the put
+    // software path — only atomic_L of extra software latency.
+    simnet::TransferParams req;
+    req.src_ep = c.rank_ctx().endpoint();
+    req.dst_ep = eng.platform().endpoint_of_rank(target, c.size());
+    req.src_rank = c.rank();
+    req.bytes = 8;
+    req.start_us = c.now();
+    req.sw_latency_us = pp.atomic_L_us / 2;
+    const simnet::TransferResult r1 = eng.fabric().transfer(req);
+    simnet::TransferParams rsp = req;
+    rsp.src_ep = req.dst_ep;
+    rsp.dst_ep = req.src_ep;
+    rsp.src_rank = target;
+    rsp.start_us = r1.arrival_us;
+    const simnet::TransferResult r2 = eng.fabric().transfer(rsp);
+    total_us = r2.arrival_us - c.now();
+    eng.trace().record(simnet::MsgRecord{c.rank(), target, 8, c.now(),
+                                         c.now() + total_us,
+                                         simnet::OpKind::kAtomic,
+                                         c.rank_ctx().epoch()});
+  });
+  c.rank_ctx().advance(total_us);
+  return old;
+}
+
+std::uint64_t Win::compare_and_swap(Comm& c, std::uint64_t compare,
+                                    std::uint64_t value, int target,
+                                    std::uint64_t target_off) {
+  return atomic_rmw(c, target, target_off, value, compare, /*is_cas=*/true);
+}
+
+std::uint64_t Win::fetch_add(Comm& c, std::uint64_t add, int target,
+                             std::uint64_t target_off) {
+  return atomic_rmw(c, target, target_off, add, 0, /*is_cas=*/false);
+}
+
+void Win::fence(Comm& c) {
+  const simnet::LogGP& pp = c.rma_params();
+  c.rank_ctx().advance(pp.o_us);
+  auto& eng = world_->engine_;
+  const double rounds = std::ceil(std::log2(std::max(2, nranks_)));
+  const double cost = rounds * (2.0 * pp.o_us + pp.L_us);
+
+  std::uint64_t my_gen = 0;
+  eng.perform(c.rank_ctx(), [&] {
+    my_gen = fence_gen_;
+    if (fence_entered_ == 0) fence_max_enter_ = 0;
+    ++fence_entered_;
+    fence_max_enter_ = std::max(fence_max_enter_, c.now());
+    if (fence_entered_ == nranks_) {
+      simnet::TimeUs done = fence_max_enter_ + cost;
+      for (int r = 0; r < nranks_; ++r) {
+        for (const PendingPut& p : pending_[static_cast<std::size_t>(r)]) {
+          done = std::max(done, p.arrival);
+        }
+        apply_pending_locked(r, simnet::kTimeInf);
+        outstanding_[static_cast<std::size_t>(r)].clear();
+      }
+      FenceSlot& slot = fence_done_[my_gen % fence_done_.size()];
+      slot.gen = my_gen;
+      slot.done_at = done;
+      fence_entered_ = 0;
+      ++fence_gen_;
+    }
+  });
+  const FenceSlot& slot = fence_done_[my_gen % fence_done_.size()];
+  eng.wait(c.rank_ctx(), "win.fence", [&]() -> std::optional<double> {
+    if (fence_gen_ <= my_gen) return std::nullopt;
+    MRL_CHECK_MSG(slot.gen == my_gen, "fence result slot overwritten");
+    return slot.done_at;
+  });
+  c.rank_ctx().bump_epoch();
+}
+
+std::size_t Win::unapplied_count(int rank) const {
+  return pending_[static_cast<std::size_t>(rank)].size();
+}
+
+}  // namespace mrl::mpi

@@ -1,0 +1,158 @@
+// Deterministic cooperative rank engine (conservative parallel discrete-event
+// simulation, sequentialized).
+//
+// Each rank is a real OS thread running real application code, but exactly
+// one rank thread executes at a time (a baton). Every fabric-visible action
+// goes through Engine::perform(), which re-queues the caller and grants the
+// baton to the runnable rank with the smallest virtual clock. Actions
+// therefore execute in global virtual-time order, which makes link contention
+// causally correct and the whole simulation bit-reproducible.
+//
+// Blocking operations (receives, signal waits) use Engine::wait() with a
+// condition closure that returns the wake-up virtual time once satisfiable.
+// If every live rank is blocked, the engine reports a deadlock instead of
+// hanging — with each rank's self-described wait reason.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "simnet/platform.hpp"
+#include "simnet/time.hpp"
+#include "simnet/trace.hpp"
+#include "util/status.hpp"
+
+namespace mrl::runtime {
+
+class Engine;
+
+/// Per-rank execution context. Handed by reference to the rank body; valid
+/// only for the duration of Engine::run().
+class Rank {
+ public:
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] simnet::TimeUs now() const { return clock_; }
+
+  /// Charges local compute time (the only way user code consumes virtual
+  /// time outside communication).
+  void advance(double dt_us) {
+    MRL_CHECK(dt_us >= 0.0);
+    clock_ += dt_us;
+  }
+
+  /// Endpoint hosting this rank on the platform topology.
+  [[nodiscard]] int endpoint() const { return endpoint_; }
+
+  /// Sender-side synchronization epoch (bumped by comm layers at each sync;
+  /// the trace uses it to compute messages-per-sync).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { ++epoch_; }
+
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+ private:
+  friend class Engine;
+  Rank() = default;
+
+  Engine* engine_ = nullptr;
+  int id_ = -1;
+  int size_ = 0;
+  int endpoint_ = -1;
+  simnet::TimeUs clock_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  enum class State { kReady, kRunning, kBlocked, kDone };
+  State state_ = State::kReady;
+  simnet::TimeUs wake_ = 0;  ///< scheduling priority while kReady
+  const std::function<std::optional<double>()>* cond_ = nullptr;
+  const char* what_ = "";  ///< wait description for deadlock reports
+  std::condition_variable cv_;
+};
+
+struct EngineOptions {
+  bool trace = false;                ///< record every message
+  bool reset_fabric_each_run = true; ///< clear contention state per run()
+};
+
+struct RunResult {
+  Status status;
+  simnet::TimeUs makespan_us = 0;  ///< max final rank clock
+  std::vector<simnet::TimeUs> rank_end_us;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// The engine: owns the platform fabric, the trace, and rank scheduling.
+class Engine {
+ public:
+  Engine(simnet::Platform platform, int nranks, EngineOptions opt = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `body` on every rank to completion (or deadlock/exception).
+  /// May be called repeatedly; fabric contention state resets between runs
+  /// unless EngineOptions says otherwise.
+  RunResult run(const std::function<void(Rank&)>& body);
+
+  [[nodiscard]] const simnet::Platform& platform() const { return platform_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] simnet::Trace& trace() { return trace_; }
+
+  // --- protocol for communication layers (called from rank threads) ---
+
+  /// Executes `fn` under the global virtual-time ordering: the calling rank
+  /// yields, is re-granted when it has the minimum clock among runnable
+  /// ranks, and runs `fn` while holding the engine lock. After `fn`, blocked
+  /// ranks' wait conditions are re-evaluated.
+  void perform(Rank& r, const std::function<void()>& fn);
+
+  /// Blocks until `cond` returns a wake time; advances the rank clock to
+  /// max(clock, wake). `cond` is evaluated under the engine lock and must be
+  /// monotonic: once satisfiable it stays satisfiable. `what` labels the
+  /// wait in deadlock reports. If `finalize` is non-null it runs under the
+  /// engine lock immediately after the clock update (e.g. to consume the
+  /// matched message atomically with the wake decision).
+  void wait(Rank& r, const char* what,
+            const std::function<std::optional<double>()>& cond,
+            const std::function<void()>& finalize = {});
+
+ private:
+  struct AbortException {};
+
+  void rank_main(int id, const std::function<void(Rank&)>& body);
+  void schedule_locked();
+  void wake_satisfied_locked();
+  void check_abort_locked(const Rank& r) const;
+
+  simnet::Platform platform_;
+  int nranks_;
+  EngineOptions opt_;
+  std::unique_ptr<simnet::Fabric> fabric_;
+  simnet::Trace trace_;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  int granted_ = -1;
+  int done_count_ = 0;
+  bool abort_ = false;
+  std::string abort_reason_;
+  std::string body_error_;
+  std::condition_variable run_cv_;
+};
+
+}  // namespace mrl::runtime

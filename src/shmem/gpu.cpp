@@ -1,0 +1,28 @@
+#include "shmem/gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace mrl::shmem {
+
+double GpuExecModel::stream_time_us(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * gbs_to_us_per_byte(cm_->membw_gbs);
+}
+
+double GpuExecModel::occupancy_time_us(std::uint64_t items,
+                                       double item_us) const {
+  const auto lanes_u = static_cast<std::uint64_t>(std::max(1, cm_->lanes));
+  const std::uint64_t waves = (items + lanes_u - 1) / lanes_u;
+  return static_cast<double>(waves) * item_us;
+}
+
+double GpuExecModel::kernel_time_us(std::uint64_t bytes_touched,
+                                    std::uint64_t items,
+                                    double item_us) const {
+  return std::max(stream_time_us(bytes_touched),
+                  occupancy_time_us(items, item_us));
+}
+
+}  // namespace mrl::shmem

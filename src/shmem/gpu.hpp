@@ -1,0 +1,40 @@
+// GPU execution model: maps data-parallel device work to virtual time.
+//
+// A PE is a whole GPU. Compute is charged as the max of the bandwidth time
+// (bytes touched / device memory bandwidth) and the occupancy-limited time
+// (ceil(items / concurrent lanes) * per-item latency) — the usual
+// throughput/latency envelope of a streaming kernel. This is what gives the
+// paper's "each GPU can have eighty thread blocks scheduled simultaneously"
+// its 320x-per-node parallelism advantage over serial CPU ranks (Sec III-A).
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/platform.hpp"
+
+namespace mrl::shmem {
+
+class GpuExecModel {
+ public:
+  explicit GpuExecModel(const simnet::ComputeModel& cm) : cm_(&cm) {}
+
+  /// Time to stream `bytes` through device memory.
+  [[nodiscard]] double stream_time_us(std::uint64_t bytes) const;
+
+  /// Time for `items` independent work items of `item_us` each, executed
+  /// `lanes` at a time.
+  [[nodiscard]] double occupancy_time_us(std::uint64_t items,
+                                         double item_us) const;
+
+  /// Streaming kernel: max of the two envelopes.
+  [[nodiscard]] double kernel_time_us(std::uint64_t bytes_touched,
+                                      std::uint64_t items,
+                                      double item_us) const;
+
+  [[nodiscard]] int lanes() const { return cm_->lanes; }
+
+ private:
+  const simnet::ComputeModel* cm_;
+};
+
+}  // namespace mrl::shmem

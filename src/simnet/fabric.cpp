@@ -1,0 +1,138 @@
+#include "simnet/fabric.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace mrl::simnet {
+
+Fabric::Fabric(const Topology* topo, RouteMode mode, double local_bw_gbs,
+               double local_latency_us)
+    : topo_(topo),
+      mode_(mode),
+      local_bw_gbs_(local_bw_gbs),
+      local_latency_us_(local_latency_us) {
+  MRL_CHECK(topo_ != nullptr && topo_->finalized());
+  MRL_CHECK(local_bw_gbs_ > 0);
+  dlink_state_.reserve(static_cast<std::size_t>(topo_->num_links()) * 2);
+  for (int l = 0; l < topo_->num_links(); ++l) {
+    dlink_state_.emplace_back(topo_->link(l));
+    dlink_state_.emplace_back(topo_->link(l));
+  }
+}
+
+TransferResult Fabric::transfer(const TransferParams& p) {
+  MRL_CHECK(p.src_ep >= 0 && p.src_ep < topo_->num_endpoints());
+  MRL_CHECK(p.dst_ep >= 0 && p.dst_ep < topo_->num_endpoints());
+  MRL_CHECK(p.src_rank >= 0);
+  total_bytes_ += p.bytes;
+  ++total_msgs_;
+
+  // Injection: the issuing rank serializes its own message launches — the
+  // LogGP gap g plus, when a pump rate is set, the time to source the bytes.
+  if (static_cast<std::size_t>(p.src_rank) >= injector_free_.size()) {
+    injector_free_.resize(static_cast<std::size_t>(p.src_rank) + 1, kTimeZero);
+  }
+  TimeUs& inj = injector_free_[static_cast<std::size_t>(p.src_rank)];
+  const TimeUs inject_start = std::max(p.start_us, inj);
+  const double pump_us =
+      p.pump_gbs > 0
+          ? static_cast<double>(p.bytes) * gbs_to_us_per_byte(p.pump_gbs)
+          : 0.0;
+  inj = inject_start + p.inj_gap_us + pump_us;
+
+  TransferResult r;
+  r.inject_free_us = inj;
+
+  if (p.src_ep == p.dst_ep) {
+    // Same-endpoint (shared-memory) transfer.
+    double ser =
+        static_cast<double>(p.bytes) * gbs_to_us_per_byte(local_bw_gbs_);
+    if (p.per_stream_gbs > 0) {
+      ser = std::max(ser, static_cast<double>(p.bytes) *
+                              gbs_to_us_per_byte(p.per_stream_gbs));
+    }
+    if (p.pump_gbs > 0) {
+      ser = std::max(ser, pump_us);
+    }
+    r.arrival_us = inject_start + p.sw_latency_us + local_latency_us_ + ser;
+    return r;
+  }
+
+  const std::vector<DirectedLink>& path = topo_->route(p.src_ep, p.dst_ep);
+  MRL_CHECK(!path.empty());
+
+  if (mode_ == RouteMode::kCutThrough) {
+    // Head propagates hop by hop; the body streams at the slowest lane rate.
+    TimeUs head = inject_start;
+    double bottleneck_gbs = p.per_stream_gbs > 0
+                                ? p.per_stream_gbs
+                                : std::numeric_limits<double>::infinity();
+    if (p.pump_gbs > 0) bottleneck_gbs = std::min(bottleneck_gbs, p.pump_gbs);
+    struct Claim {
+      LinkState* state;
+      int lane;
+      TimeUs start;
+      double occupancy;
+    };
+    std::vector<Claim> claims;
+    claims.reserve(path.size());
+    for (const DirectedLink& dl : path) {
+      const LinkSpec& spec = topo_->link(dl.link);
+      LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
+      const int lane = st.earliest_lane();
+      const TimeUs start = std::max(head, st.lane_free_at(lane));
+      claims.push_back(Claim{&st, lane, start, spec.msg_occupancy_us});
+      head = start + spec.latency_us;
+      bottleneck_gbs = std::min(bottleneck_gbs, spec.channel_gbs());
+    }
+    const double ser =
+        static_cast<double>(p.bytes) * gbs_to_us_per_byte(bottleneck_gbs);
+    r.arrival_us = head + ser + p.sw_latency_us;
+    // Each claimed lane is busy until the tail has passed it (or for the
+    // link's per-message occupancy floor, whichever is longer).
+    for (const Claim& c : claims) {
+      const double hold = std::max(ser, c.occupancy);
+      c.state->set_lane_free_at(c.lane, c.start + hold);
+      c.state->add_busy(hold);
+    }
+  } else {
+    // Store-and-forward: the whole message is serialized on every hop.
+    TimeUs t = inject_start;
+    for (const DirectedLink& dl : path) {
+      const LinkSpec& spec = topo_->link(dl.link);
+      LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
+      const int lane = st.earliest_lane();
+      const TimeUs start = std::max(t, st.lane_free_at(lane));
+      double ser = spec.channel_ser_us(p.bytes);
+      if (p.per_stream_gbs > 0) {
+        ser = std::max(ser, static_cast<double>(p.bytes) *
+                                gbs_to_us_per_byte(p.per_stream_gbs));
+      }
+      if (p.pump_gbs > 0) ser = std::max(ser, pump_us);
+      const double hold = std::max(ser, spec.msg_occupancy_us);
+      t = start + spec.latency_us + ser;
+      st.set_lane_free_at(lane, start + spec.latency_us + hold);
+      st.add_busy(hold);
+    }
+    r.arrival_us = t + p.sw_latency_us;
+  }
+  return r;
+}
+
+void Fabric::reset() {
+  injector_free_.clear();
+  for (LinkState& s : dlink_state_) s.reset();
+  total_bytes_ = 0;
+  total_msgs_ = 0;
+}
+
+double Fabric::link_busy_us(int link_id, int dir) const {
+  MRL_CHECK(link_id >= 0 && link_id < topo_->num_links());
+  MRL_CHECK(dir == 0 || dir == 1);
+  return dlink_state_[static_cast<std::size_t>(link_id) * 2 + dir].busy_us();
+}
+
+}  // namespace mrl::simnet

@@ -1,0 +1,36 @@
+#include "simnet/link.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace mrl::simnet {
+
+double LinkSpec::channel_ser_us(std::uint64_t bytes) const {
+  MRL_CHECK(bandwidth_gbs > 0 && channels > 0);
+  return static_cast<double>(bytes) * gbs_to_us_per_byte(channel_gbs());
+}
+
+double LinkSpec::full_ser_us(std::uint64_t bytes) const {
+  MRL_CHECK(bandwidth_gbs > 0);
+  return static_cast<double>(bytes) * gbs_to_us_per_byte(bandwidth_gbs);
+}
+
+LinkState::LinkState(const LinkSpec& spec)
+    : lane_next_free_(static_cast<std::size_t>(spec.channels), kTimeZero) {
+  MRL_CHECK(spec.channels >= 1);
+}
+
+int LinkState::earliest_lane() const {
+  const auto it =
+      std::min_element(lane_next_free_.begin(), lane_next_free_.end());
+  return static_cast<int>(it - lane_next_free_.begin());
+}
+
+void LinkState::reset() {
+  std::fill(lane_next_free_.begin(), lane_next_free_.end(), kTimeZero);
+  busy_us_ = 0.0;
+}
+
+}  // namespace mrl::simnet

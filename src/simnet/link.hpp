@@ -1,0 +1,67 @@
+// Link descriptions and per-direction channel contention state.
+//
+// A link is an undirected physical connection (Infinity Fabric, X-Bus,
+// NVLink2/3, PCIe4, Slingshot) with a per-direction aggregate bandwidth split
+// across `channels` independent lanes. A single message stream occupies one
+// lane, so its serialization rate is bandwidth/channels — this is how NVLink
+// port groups are modeled and what makes message-splitting pay off (Fig 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace mrl::simnet {
+
+/// Immutable description of a physical link.
+struct LinkSpec {
+  std::string name;          ///< e.g. "IF CPU-CPU", "NVLink3 g0-g1"
+  double bandwidth_gbs = 0;  ///< aggregate per-direction bandwidth, GB/s (1e9)
+  double latency_us = 0;     ///< hardware traversal latency per hop
+  int channels = 1;          ///< independent lanes per direction
+  /// Minimum per-message lane hold time: protocol engines (e.g. the Summit
+  /// X-Bus coherence path) serialize small transactions regardless of size.
+  double msg_occupancy_us = 0;
+
+  /// Serialization rate of a single message stream (one lane), GB/s.
+  [[nodiscard]] double channel_gbs() const {
+    return bandwidth_gbs / channels;
+  }
+  /// Microseconds to push `bytes` through one lane.
+  [[nodiscard]] double channel_ser_us(std::uint64_t bytes) const;
+  /// Microseconds to push `bytes` at full aggregate bandwidth.
+  [[nodiscard]] double full_ser_us(std::uint64_t bytes) const;
+};
+
+/// Mutable contention state for ONE direction of a link: when each lane is
+/// next free. The fabric picks the earliest-available lane per transfer.
+class LinkState {
+ public:
+  explicit LinkState(const LinkSpec& spec);
+
+  /// Picks the lane that frees earliest; returns its index.
+  [[nodiscard]] int earliest_lane() const;
+
+  [[nodiscard]] TimeUs lane_free_at(int lane) const {
+    return lane_next_free_[lane];
+  }
+  void set_lane_free_at(int lane, TimeUs t) { lane_next_free_[lane] = t; }
+
+  [[nodiscard]] int num_lanes() const {
+    return static_cast<int>(lane_next_free_.size());
+  }
+
+  /// Total busy time accumulated (for utilization reporting).
+  [[nodiscard]] double busy_us() const { return busy_us_; }
+  void add_busy(double us) { busy_us_ += us; }
+
+  void reset();
+
+ private:
+  std::vector<TimeUs> lane_next_free_;
+  double busy_us_ = 0.0;
+};
+
+}  // namespace mrl::simnet

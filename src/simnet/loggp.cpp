@@ -1,0 +1,24 @@
+#include "simnet/loggp.hpp"
+
+#include <cstdio>
+
+namespace mrl::simnet {
+
+std::string LogGP::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "LogGP{L=%.3fus o=%.3fus g=%.3fus per_stream=%.1fGB/s}", L_us,
+                o_us, g_us, per_stream_gbs);
+  return buf;
+}
+
+std::string to_string(Runtime r) {
+  switch (r) {
+    case Runtime::kTwoSidedMpi: return "two-sided MPI";
+    case Runtime::kOneSidedMpi: return "one-sided MPI";
+    case Runtime::kShmem: return "SHMEM (put-with-signal)";
+  }
+  return "unknown";
+}
+
+}  // namespace mrl::simnet

@@ -1,0 +1,48 @@
+// LogGP parameter sets (Alexandrov et al., "LogGP: incorporating long
+// messages into the LogP model"). The Message Roofline Model is expressed in
+// these terms; the fabric charges them to application code.
+//
+//   L — end-to-end software+stack latency per message (processor independent)
+//   o — per-MPI/SHMEM-operation overhead paid by the issuing processor
+//   g — gap between consecutive message injections at one endpoint
+//   G — seconds per byte (1/bandwidth); in the fabric G is derived from the
+//       channel bandwidth along the route, so LogGP here carries only a
+//       per-stream cap used by the analytical model
+#pragma once
+
+#include <string>
+
+namespace mrl::simnet {
+
+/// One runtime's LogGP parameters on one platform (e.g. "two-sided CrayMPI
+/// on Perlmutter CPU").
+struct LogGP {
+  double L_us = 3.0;        ///< software latency per message
+  double o_us = 0.3;        ///< overhead per operation (each MPI call)
+  double g_us = 0.05;       ///< injection gap between messages
+  double per_stream_gbs = 0.0;  ///< 0 = uncapped (use link channel bandwidth)
+  /// Extra software latency for remote atomics (CAS/fetch-op). Atomics
+  /// bypass most of the put software path: ~0 for GPU-initiated NVSHMEM
+  /// (CAS = o + hardware RTT), a bit over 1 us for MPI one-sided.
+  double atomic_L_us = 0.0;
+  /// Per-operation overhead for remote atomics; < 0 means "same as o_us".
+  /// NVSHMEM on Summit issues atomics much faster than signalled puts.
+  double atomic_o_us = -1.0;
+
+  [[nodiscard]] double atomic_o() const {
+    return atomic_o_us < 0 ? o_us : atomic_o_us;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The communication runtimes the paper compares.
+enum class Runtime {
+  kTwoSidedMpi,   ///< MPI_Isend/Irecv/Waitall (2 ops per message)
+  kOneSidedMpi,   ///< MPI_Put + flush + signal put + flush (4 ops per message)
+  kShmem,         ///< GPU-initiated put-with-signal (1 op per message)
+};
+
+std::string to_string(Runtime r);
+
+}  // namespace mrl::simnet

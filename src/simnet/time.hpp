@@ -1,0 +1,15 @@
+// Virtual time. All simulator clocks are doubles in microseconds — the unit
+// the paper reports latencies in. Determinism comes from the engine's total
+// ordering of events, not from the representation.
+#pragma once
+
+#include <limits>
+
+namespace mrl::simnet {
+
+using TimeUs = double;
+
+inline constexpr TimeUs kTimeInf = std::numeric_limits<double>::infinity();
+inline constexpr TimeUs kTimeZero = 0.0;
+
+}  // namespace mrl::simnet

@@ -1,0 +1,151 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace mrl::simnet {
+
+std::string to_string(EndpointKind k) {
+  switch (k) {
+    case EndpointKind::kSocket: return "socket";
+    case EndpointKind::kGpu: return "gpu";
+    case EndpointKind::kNic: return "nic";
+    case EndpointKind::kSwitch: return "switch";
+  }
+  return "unknown";
+}
+
+int Topology::add_endpoint(std::string name, EndpointKind kind) {
+  MRL_CHECK(!finalized_);
+  endpoints_.push_back(Endpoint{std::move(name), kind});
+  adj_.emplace_back();
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+int Topology::add_link(int a, int b, LinkSpec spec) {
+  MRL_CHECK(!finalized_);
+  MRL_CHECK(a >= 0 && a < num_endpoints());
+  MRL_CHECK(b >= 0 && b < num_endpoints());
+  MRL_CHECK(a != b);
+  MRL_CHECK(spec.bandwidth_gbs > 0 && spec.channels >= 1);
+  const int id = static_cast<int>(links_.size());
+  links_.push_back(std::move(spec));
+  link_ends_.emplace_back(a, b);
+  adj_[a].push_back(Adj{b, DirectedLink{id, 0}});
+  adj_[b].push_back(Adj{a, DirectedLink{id, 1}});
+  return id;
+}
+
+void Topology::finalize() {
+  MRL_CHECK(!finalized_);
+  const int n = num_endpoints();
+  routes_.assign(static_cast<std::size_t>(n) * n, {});
+  route_lat_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  route_chan_gbs_.assign(static_cast<std::size_t>(n) * n,
+                         std::numeric_limits<double>::infinity());
+
+  // BFS from each source; neighbors are visited in insertion order and ties
+  // keep the first-found parent, so routes are deterministic.
+  for (int src = 0; src < n; ++src) {
+    std::vector<int> dist(n, -1);
+    std::vector<DirectedLink> parent_link(n);
+    std::vector<int> parent(n, -1);
+    std::deque<int> q{src};
+    dist[src] = 0;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop_front();
+      for (const Adj& e : adj_[u]) {
+        if (dist[e.peer] != -1) continue;
+        dist[e.peer] = dist[u] + 1;
+        parent[e.peer] = u;
+        parent_link[e.peer] = e.dlink;
+        q.push_back(e.peer);
+      }
+    }
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      MRL_CHECK_MSG(dist[dst] != -1, "topology is disconnected");
+      std::vector<DirectedLink> path;
+      for (int v = dst; v != src; v = parent[v]) path.push_back(parent_link[v]);
+      std::reverse(path.begin(), path.end());
+      double lat = 0.0;
+      double chan = std::numeric_limits<double>::infinity();
+      for (const DirectedLink& dl : path) {
+        lat += links_[dl.link].latency_us;
+        chan = std::min(chan, links_[dl.link].channel_gbs());
+      }
+      const std::size_t idx = static_cast<std::size_t>(src) * n + dst;
+      routes_[idx] = std::move(path);
+      route_lat_[idx] = lat;
+      route_chan_gbs_[idx] = chan;
+    }
+  }
+  finalized_ = true;
+}
+
+const Endpoint& Topology::endpoint(int id) const {
+  MRL_CHECK(id >= 0 && id < num_endpoints());
+  return endpoints_[id];
+}
+
+const LinkSpec& Topology::link(int id) const {
+  MRL_CHECK(id >= 0 && id < num_links());
+  return links_[id];
+}
+
+int Topology::link_endpoint(int link_id, int side) const {
+  MRL_CHECK(link_id >= 0 && link_id < num_links());
+  MRL_CHECK(side == 0 || side == 1);
+  return side == 0 ? link_ends_[link_id].first : link_ends_[link_id].second;
+}
+
+const std::vector<DirectedLink>& Topology::route(int src, int dst) const {
+  MRL_CHECK(finalized_);
+  MRL_CHECK(src >= 0 && src < num_endpoints());
+  MRL_CHECK(dst >= 0 && dst < num_endpoints());
+  return routes_[static_cast<std::size_t>(src) * num_endpoints() + dst];
+}
+
+double Topology::route_latency_us(int src, int dst) const {
+  MRL_CHECK(finalized_);
+  return route_lat_[static_cast<std::size_t>(src) * num_endpoints() + dst];
+}
+
+double Topology::route_channel_gbs(int src, int dst) const {
+  MRL_CHECK(finalized_);
+  return route_chan_gbs_[static_cast<std::size_t>(src) * num_endpoints() + dst];
+}
+
+std::vector<int> Topology::endpoints_of_kind(EndpointKind k) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_endpoints(); ++i)
+    if (endpoints_[i].kind == k) out.push_back(i);
+  return out;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << "endpoints:\n";
+  for (int i = 0; i < num_endpoints(); ++i) {
+    os << "  [" << i << "] " << endpoints_[i].name << " ("
+       << to_string(endpoints_[i].kind) << ")\n";
+  }
+  os << "links:\n";
+  for (int i = 0; i < num_links(); ++i) {
+    const LinkSpec& s = links_[i];
+    os << "  " << endpoints_[link_ends_[i].first].name << " <-> "
+       << endpoints_[link_ends_[i].second].name << "  " << s.name << "  "
+       << format_gbs(s.bandwidth_gbs) << "/dir"
+       << ", " << s.channels << " ch"
+       << ", " << format_time_us(s.latency_us) << " hop\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrl::simnet

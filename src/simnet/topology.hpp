@@ -1,0 +1,87 @@
+// Node/system topology: endpoints (sockets, GPUs, NICs, switches) connected
+// by links, with min-hop routing. Immutable after finalize(); the Fabric owns
+// all mutable contention state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/link.hpp"
+
+namespace mrl::simnet {
+
+/// What an endpoint is. Ranks/PEs are hosted only on kSocket/kGpu endpoints.
+enum class EndpointKind { kSocket, kGpu, kNic, kSwitch };
+
+std::string to_string(EndpointKind k);
+
+struct Endpoint {
+  std::string name;
+  EndpointKind kind = EndpointKind::kSocket;
+};
+
+/// A directed link reference: undirected link `link` traversed in direction
+/// `dir` (0 = a->b, 1 = b->a). Directed id = link*2 + dir.
+struct DirectedLink {
+  int link = -1;
+  int dir = 0;
+  [[nodiscard]] int id() const { return link * 2 + dir; }
+};
+
+/// Immutable graph of endpoints and links with precomputed min-hop routes.
+class Topology {
+ public:
+  /// Adds an endpoint; returns its id.
+  int add_endpoint(std::string name, EndpointKind kind);
+
+  /// Adds an undirected link between endpoints a and b; returns link id.
+  int add_link(int a, int b, LinkSpec spec);
+
+  /// Computes all-pairs min-hop routes (ties broken by smaller endpoint id,
+  /// so routing is deterministic). Must be called once before use.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] int num_endpoints() const {
+    return static_cast<int>(endpoints_.size());
+  }
+  [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
+
+  [[nodiscard]] const Endpoint& endpoint(int id) const;
+  [[nodiscard]] const LinkSpec& link(int id) const;
+  [[nodiscard]] int link_endpoint(int link_id, int side) const;  ///< side 0/1
+
+  /// Directed links along the min-hop route src -> dst. Empty when src==dst.
+  [[nodiscard]] const std::vector<DirectedLink>& route(int src, int dst) const;
+
+  /// Sum of hardware latencies along the route (0 for src==dst).
+  [[nodiscard]] double route_latency_us(int src, int dst) const;
+
+  /// Min over the route of single-lane bandwidths; kTimeInf-like large value
+  /// for src==dst (local transfers are costed by the Platform instead).
+  [[nodiscard]] double route_channel_gbs(int src, int dst) const;
+
+  /// Endpoint ids of a given kind, in creation order.
+  [[nodiscard]] std::vector<int> endpoints_of_kind(EndpointKind k) const;
+
+  /// One-line-per-link ASCII description (used by the Table I bench).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Adj {
+    int peer;
+    DirectedLink dlink;
+  };
+  std::vector<Endpoint> endpoints_;
+  std::vector<LinkSpec> links_;
+  std::vector<std::pair<int, int>> link_ends_;
+  std::vector<std::vector<Adj>> adj_;
+  // routes_[src * N + dst]
+  std::vector<std::vector<DirectedLink>> routes_;
+  std::vector<double> route_lat_;
+  std::vector<double> route_chan_gbs_;
+  bool finalized_ = false;
+};
+
+}  // namespace mrl::simnet

@@ -1,0 +1,68 @@
+#include "simnet/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/units.hpp"
+
+namespace mrl::simnet {
+
+std::string to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kSend: return "send";
+    case OpKind::kPut: return "put";
+    case OpKind::kPutSignal: return "put_signal";
+    case OpKind::kSignal: return "signal";
+    case OpKind::kAtomic: return "atomic";
+    case OpKind::kCollective: return "collective";
+  }
+  return "unknown";
+}
+
+namespace {
+TraceSummary summarize_records(const std::vector<const MsgRecord*>& recs) {
+  TraceSummary s;
+  if (recs.empty()) return s;
+  s.num_msgs = recs.size();
+  double first_issue = recs.front()->t_issue;
+  double last_arrival = recs.front()->t_arrival;
+  double lat_sum = 0;
+  s.min_msg_bytes = static_cast<double>(recs.front()->bytes);
+  s.max_msg_bytes = s.min_msg_bytes;
+  std::set<std::pair<std::int32_t, std::uint64_t>> epochs;  // (sender, epoch)
+  for (const MsgRecord* r : recs) {
+    s.total_bytes += static_cast<double>(r->bytes);
+    lat_sum += r->t_arrival - r->t_issue;
+    first_issue = std::min(first_issue, r->t_issue);
+    last_arrival = std::max(last_arrival, r->t_arrival);
+    s.min_msg_bytes = std::min(s.min_msg_bytes, static_cast<double>(r->bytes));
+    s.max_msg_bytes = std::max(s.max_msg_bytes, static_cast<double>(r->bytes));
+    epochs.insert({r->src_rank, r->epoch});
+  }
+  s.num_epochs = epochs.size();
+  s.avg_msg_bytes = s.total_bytes / static_cast<double>(s.num_msgs);
+  s.avg_msgs_per_sync =
+      static_cast<double>(s.num_msgs) / static_cast<double>(s.num_epochs);
+  s.avg_latency_us = lat_sum / static_cast<double>(s.num_msgs);
+  s.span_us = last_arrival - first_issue;
+  s.sustained_gbs =
+      s.span_us > 0 ? bytes_per_us_to_gbs(s.total_bytes, s.span_us) : 0.0;
+  return s;
+}
+}  // namespace
+
+TraceSummary Trace::summarize() const {
+  std::vector<const MsgRecord*> refs;
+  refs.reserve(records_.size());
+  for (const auto& r : records_) refs.push_back(&r);
+  return summarize_records(refs);
+}
+
+TraceSummary Trace::summarize(OpKind kind) const {
+  std::vector<const MsgRecord*> refs;
+  for (const auto& r : records_)
+    if (r.kind == kind) refs.push_back(&r);
+  return summarize_records(refs);
+}
+
+}  // namespace mrl::simnet

@@ -1,0 +1,75 @@
+// Communication trace: every message the runtime moves, with issue/arrival
+// times and the synchronization epoch it belongs to. The Message Roofline
+// workload dots (Fig 6) and the latency-vs-msg/sync analysis (Fig 7) are
+// computed from these records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace mrl::simnet {
+
+enum class OpKind : std::uint8_t {
+  kSend,        ///< two-sided message
+  kPut,         ///< one-sided put (data)
+  kPutSignal,   ///< fused put-with-signal (SHMEM)
+  kSignal,      ///< one-sided put carrying only a signal word
+  kAtomic,      ///< CAS / fetch-op round trip
+  kCollective,  ///< barrier/reduction constituent
+};
+
+std::string to_string(OpKind k);
+
+struct MsgRecord {
+  std::int32_t src_rank = -1;
+  std::int32_t dst_rank = -1;
+  std::uint64_t bytes = 0;
+  TimeUs t_issue = 0;    ///< virtual time the operation was issued
+  TimeUs t_arrival = 0;  ///< virtual time the payload landed at dst
+  OpKind kind = OpKind::kSend;
+  std::uint64_t epoch = 0;  ///< sender-side synchronization epoch
+};
+
+/// Aggregate view of a trace used by the roofline overlays.
+struct TraceSummary {
+  std::uint64_t num_msgs = 0;
+  std::uint64_t num_epochs = 0;
+  double total_bytes = 0;
+  double avg_msg_bytes = 0;
+  double avg_msgs_per_sync = 0;   ///< messages / sender epochs
+  double avg_latency_us = 0;      ///< mean (arrival - issue)
+  double min_msg_bytes = 0;
+  double max_msg_bytes = 0;
+  double span_us = 0;             ///< last arrival - first issue
+  double sustained_gbs = 0;       ///< total bytes / span
+};
+
+/// Append-only trace. The engine serializes all recording, so no locking.
+class Trace {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(const MsgRecord& rec) {
+    if (enabled_) records_.push_back(rec);
+  }
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::vector<MsgRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] TraceSummary summarize() const;
+
+  /// Summary restricted to one op kind.
+  [[nodiscard]] TraceSummary summarize(OpKind kind) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<MsgRecord> records_;
+};
+
+}  // namespace mrl::simnet

@@ -1,0 +1,60 @@
+#include "simnet/trace_export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace mrl::simnet {
+
+void export_trace_csv(const Trace& trace, std::ostream& os) {
+  CsvWriter w(os);
+  w.header({"src", "dst", "bytes", "kind", "epoch", "t_issue_us",
+            "t_arrival_us"});
+  for (const MsgRecord& r : trace.records()) {
+    w.row({std::to_string(r.src_rank), std::to_string(r.dst_rank),
+           std::to_string(r.bytes), to_string(r.kind),
+           std::to_string(r.epoch), std::to_string(r.t_issue),
+           std::to_string(r.t_arrival)});
+  }
+}
+
+bool export_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    MRL_LOG_WARN("cannot open %s", path.c_str());
+    return false;
+  }
+  export_trace_csv(trace, f);
+  return f.good();
+}
+
+void export_trace_chrome(const Trace& trace, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const MsgRecord& r : trace.records()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << to_string(r.kind) << " " << r.bytes << "B -> r"
+       << r.dst_rank << "\",\"cat\":\"" << to_string(r.kind)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << r.src_rank
+       << ",\"ts\":" << r.t_issue
+       << ",\"dur\":" << (r.t_arrival - r.t_issue)
+       << ",\"args\":{\"bytes\":" << r.bytes << ",\"epoch\":" << r.epoch
+       << ",\"dst\":" << r.dst_rank << "}}";
+  }
+  os << "]}";
+}
+
+bool export_trace_chrome(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    MRL_LOG_WARN("cannot open %s", path.c_str());
+    return false;
+  }
+  export_trace_chrome(trace, f);
+  return f.good();
+}
+
+}  // namespace mrl::simnet

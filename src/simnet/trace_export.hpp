@@ -1,0 +1,22 @@
+// Trace export: dump a communication trace as CSV or as Chrome tracing JSON
+// (load in chrome://tracing or Perfetto — one row per rank, one slice per
+// message from issue to arrival).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "simnet/trace.hpp"
+
+namespace mrl::simnet {
+
+/// CSV: src,dst,bytes,kind,epoch,t_issue_us,t_arrival_us.
+void export_trace_csv(const Trace& trace, std::ostream& os);
+bool export_trace_csv(const Trace& trace, const std::string& path);
+
+/// Chrome tracing JSON ("traceEvents" array of complete events; pid 0,
+/// tid = source rank, us timestamps).
+void export_trace_chrome(const Trace& trace, std::ostream& os);
+bool export_trace_chrome(const Trace& trace, const std::string& path);
+
+}  // namespace mrl::simnet

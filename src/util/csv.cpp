@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace mrl {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+bool write_csv_file(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream f(path);
+  if (!f) {
+    MRL_LOG_WARN("cannot open CSV file for writing: %s", path.c_str());
+    return false;
+  }
+  CsvWriter w(f);
+  for (const auto& r : rows) w.row(r);
+  return f.good();
+}
+
+}  // namespace mrl

@@ -1,0 +1,33 @@
+// Minimal CSV emission for figure series (each bench also dumps its series as
+// CSV so plots can be regenerated outside the harness).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrl {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; fields containing comma/quote/newline are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header then rows.
+  void header(const std::vector<std::string>& fields) { row(fields); }
+
+  /// Escapes a single field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Writes rows to a file; returns false (and logs) on I/O failure.
+bool write_csv_file(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mrl

@@ -1,0 +1,68 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace mrl {
+
+namespace {
+int bucket_of(double value) {
+  if (value < 1.0) return 0;
+  return static_cast<int>(std::floor(std::log2(value)));
+}
+}  // namespace
+
+void Log2Histogram::add(double value) { add_n(value, 1); }
+
+void Log2Histogram::add_n(double value, std::uint64_t n) {
+  MRL_CHECK(value >= 0.0);
+  const int k = bucket_of(value);
+  if (static_cast<std::size_t>(k) >= counts_.size()) counts_.resize(k + 1, 0);
+  counts_[k] += n;
+  total_ += n;
+}
+
+std::uint64_t Log2Histogram::bucket_count(int k) const {
+  if (k < 0 || static_cast<std::size_t>(k) >= counts_.size()) return 0;
+  return counts_[k];
+}
+
+int Log2Histogram::min_bucket() const {
+  for (std::size_t k = 0; k < counts_.size(); ++k)
+    if (counts_[k]) return static_cast<int>(k);
+  return -1;
+}
+
+int Log2Histogram::max_bucket() const {
+  for (std::size_t k = counts_.size(); k-- > 0;)
+    if (counts_[k]) return static_cast<int>(k);
+  return -1;
+}
+
+double Log2Histogram::bucket_lo(int k) { return std::ldexp(1.0, k); }
+
+std::string Log2Histogram::render(const std::string& unit,
+                                  int bar_width) const {
+  std::ostringstream os;
+  const int lo = min_bucket();
+  const int hi = max_bucket();
+  if (lo < 0) {
+    os << "(empty histogram)\n";
+    return os.str();
+  }
+  std::uint64_t peak = 0;
+  for (int k = lo; k <= hi; ++k) peak = std::max(peak, bucket_count(k));
+  for (int k = lo; k <= hi; ++k) {
+    const std::uint64_t c = bucket_count(k);
+    const int bar = peak ? static_cast<int>(
+        static_cast<double>(c) / static_cast<double>(peak) * bar_width) : 0;
+    os << "[" << bucket_lo(k) << ", " << bucket_lo(k + 1) << ") " << unit
+       << "\t" << c << "\t" << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mrl

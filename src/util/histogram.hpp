@@ -1,0 +1,34 @@
+// Log2-bucketed histogram: message-size and latency distributions in traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrl {
+
+/// Histogram over power-of-two buckets: bucket k holds values in
+/// [2^k, 2^(k+1)). Values < 1 land in bucket 0.
+class Log2Histogram {
+ public:
+  void add(double value);
+  void add_n(double value, std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket_count(int k) const;
+  [[nodiscard]] int min_bucket() const;
+  [[nodiscard]] int max_bucket() const;
+
+  /// Lower edge of bucket k (2^k).
+  static double bucket_lo(int k);
+
+  /// ASCII rendering: one line per non-empty bucket with a proportional bar.
+  [[nodiscard]] std::string render(const std::string& unit = "",
+                                   int bar_width = 40) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;  // index = bucket
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mrl

@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mrl {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[msgroof %s] ", level_tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace detail
+
+}  // namespace mrl

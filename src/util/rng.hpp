@@ -1,0 +1,105 @@
+// Deterministic, seedable pseudo-random generators.
+//
+// The simulator must be bit-reproducible across runs, so all randomness in
+// workload generation flows through these engines (never std::random_device
+// or unseeded std engines). Xoshiro256** is the workhorse; SplitMix64 seeds it
+// and derives independent per-rank streams from a single experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace mrl {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used for seeding and for
+/// deriving independent substreams (seed ^ stream-id mixing).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast general-purpose PRNG with 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derive an independent stream for (seed, stream) — e.g. one per rank.
+  static Xoshiro256 for_stream(std::uint64_t seed, std::uint64_t stream) {
+    SplitMix64 sm(seed ^ (0xA0761D6478BD642FULL * (stream + 1)));
+    Xoshiro256 g(sm.next());
+    return g;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n) {
+    MRL_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling (bias negligible for
+    // simulation workloads; deterministic and fast).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(operator()()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi) {
+    MRL_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace mrl

@@ -1,0 +1,16 @@
+// Internal dense kernels shared by the SpTRSV reference and the distributed
+// variants.
+#pragma once
+
+#include <vector>
+
+namespace mrl::workloads::sptrsv::detail {
+
+/// x_J <- L_JJ^{-1} x_J (dense lower-triangular, row-major `size` x `size`).
+void trsv_lower(const std::vector<double>& diag, double* x, int size);
+
+/// acc -= B * x  (B is rows x cols row-major).
+void gemv_sub(const std::vector<double>& B, const double* x, double* acc,
+              int rows, int cols);
+
+}  // namespace mrl::workloads::sptrsv::detail

@@ -1,0 +1,155 @@
+// The DAG execution core shared by all three SpTRSV variants. Communication
+// is injected through callbacks so the same dependency/accumulation logic is
+// exercised by two-sided MPI, 4-op one-sided MPI, and SHMEM put-with-signal.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "util/status.hpp"
+#include "workloads/sptrsv/kernels.hpp"
+#include "workloads/sptrsv/sptrsv.hpp"
+
+namespace mrl::workloads::sptrsv {
+
+class SolverCore {
+ public:
+  /// send_x(J, values, dest): fan x_J out to `dest`.
+  /// send_lsum(I, values, dest): send my accumulated partial sum for row I.
+  /// charge(us): account compute virtual time.
+  SolverCore(const SupernodalMatrix& L, const SolvePlan& plan,
+             const std::vector<double>& b, const simnet::Platform& platform,
+             std::function<void(int, const double*, int)> send_x,
+             std::function<void(int, const double*, int)> send_lsum,
+             std::function<void(double)> charge)
+      : L_(L),
+        plan_(plan),
+        platform_(platform),
+        send_x_(std::move(send_x)),
+        send_lsum_(std::move(send_lsum)),
+        charge_(std::move(charge)),
+        row_remaining_(plan.row_remaining),
+        deps_(plan.deps),
+        x_(static_cast<std::size_t>(L.n()), 0.0),
+        acc_(static_cast<std::size_t>(L.n()), 0.0) {
+    // Diagonal owners start from the right-hand side.
+    for (int J : plan_.my_diag) {
+      const int f = L_.sn_first(J);
+      for (int i = 0; i < L_.sn_size(J); ++i) {
+        x_[static_cast<std::size_t>(f + i)] = b[static_cast<std::size_t>(f + i)];
+      }
+    }
+  }
+
+  /// Solves every initially-ready supernode (no incoming dependencies).
+  void start() {
+    for (int J : plan_.my_diag) {
+      if (deps_[static_cast<std::size_t>(J)] == 0) ready_.push_back(J);
+    }
+    drain();
+  }
+
+  /// Handles a received x_J broadcast.
+  void on_x(int J, const double* xvals) {
+    process_column(J, xvals);
+    drain();
+  }
+
+  /// Handles a received partial-sum message for row I.
+  void on_lsum(int I, const double* vals) {
+    MRL_CHECK(plan_.grid.owner(I, I) == plan_.me);
+    const int f = L_.sn_first(I);
+    for (int i = 0; i < L_.sn_size(I); ++i) {
+      x_[static_cast<std::size_t>(f + i)] -= vals[i];
+    }
+    complete_dep(I);
+    drain();
+  }
+
+  /// Solution vector; only segments of supernodes whose diagonal I own are
+  /// meaningful.
+  [[nodiscard]] const std::vector<double>& x() const { return x_; }
+  [[nodiscard]] int solved_count() const { return solved_; }
+
+ private:
+  void drain() {
+    while (!ready_.empty()) {
+      const int J = ready_.front();
+      ready_.pop_front();
+      solve_and_fanout(J);
+    }
+  }
+
+  void complete_dep(int I) {
+    int& d = deps_[static_cast<std::size_t>(I)];
+    MRL_CHECK(d > 0);
+    if (--d == 0) ready_.push_back(I);
+  }
+
+  void solve_and_fanout(int J) {
+    const int f = L_.sn_first(J);
+    const int cj = L_.sn_size(J);
+    detail::trsv_lower(L_.diag(J), x_.data() + f, cj);
+    charge_(kernel_time_us(platform_, static_cast<double>(cj) * cj));
+    ++solved_;
+    for (int dest : plan_.fanout[static_cast<std::size_t>(J)]) {
+      send_x_(J, x_.data() + f, dest);
+    }
+    process_column(J, x_.data() + f);  // my own blocks in column J
+  }
+
+  void process_column(int J, const double* xvals) {
+    for (int idx : plan_.col_blocks[static_cast<std::size_t>(J)]) {
+      const SolvePlan::LocalBlock& lb =
+          plan_.my_blocks[static_cast<std::size_t>(idx)];
+      const int rows = L_.sn_size(lb.I);
+      const int fI = L_.sn_first(lb.I);
+      // acc holds +sum(L_IJ * x_J); gemv_sub subtracts, so negate by
+      // accumulating into a negative buffer: keep acc = sum by subtracting
+      // into it and flipping sign at use. Simpler: acc -= B*x, and the
+      // row's contribution to x_I is +acc (since x_I -= sum == x_I += acc).
+      detail::gemv_sub(lb.block->vals, xvals, acc_.data() + fI, rows,
+                       L_.sn_size(J));
+      charge_(kernel_time_us(platform_,
+                             2.0 * rows * static_cast<double>(L_.sn_size(J))));
+      int& rem = row_remaining_[static_cast<std::size_t>(lb.I)];
+      MRL_CHECK(rem > 0);
+      if (--rem == 0) {
+        const int d = plan_.grid.owner(lb.I, lb.I);
+        if (d == plan_.me) {
+          // Local contribution: x_I += acc_I (acc is the negated sum).
+          for (int i = 0; i < rows; ++i) {
+            x_[static_cast<std::size_t>(fI + i)] +=
+                acc_[static_cast<std::size_t>(fI + i)];
+          }
+          complete_dep(lb.I);
+        } else {
+          // Remote: send the positive partial sum (receiver subtracts).
+          lsum_buf_.assign(static_cast<std::size_t>(rows), 0.0);
+          for (int i = 0; i < rows; ++i) {
+            lsum_buf_[static_cast<std::size_t>(i)] =
+                -acc_[static_cast<std::size_t>(fI + i)];
+          }
+          send_lsum_(lb.I, lsum_buf_.data(), d);
+        }
+      }
+    }
+  }
+
+  const SupernodalMatrix& L_;
+  const SolvePlan& plan_;
+  const simnet::Platform& platform_;
+  std::function<void(int, const double*, int)> send_x_;
+  std::function<void(int, const double*, int)> send_lsum_;
+  std::function<void(double)> charge_;
+  std::vector<int> row_remaining_;
+  std::vector<int> deps_;
+  std::vector<double> x_;
+  std::vector<double> acc_;
+  std::vector<double> lsum_buf_;
+  std::deque<int> ready_;
+  int solved_ = 0;
+};
+
+}  // namespace mrl::workloads::sptrsv

@@ -1,0 +1,223 @@
+// core: Message Roofline model identities, parameter fitting, sweeps, splits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fit.hpp"
+#include "core/model.hpp"
+#include "core/plot.hpp"
+#include "core/report.hpp"
+#include "core/split.hpp"
+#include "core/sweep.hpp"
+#include "simnet/platform.hpp"
+
+namespace mrl::core {
+namespace {
+
+RooflineParams params() { return RooflineParams{0.3, 3.0, 32.0}; }
+
+TEST(Model, SharpNeverBelowRounded) {
+  RooflineModel m(params());
+  for (double b = 8; b <= (16 << 20); b *= 3.7) {
+    for (double msync : {1.0, 10.0, 100.0, 1e4, 1e6}) {
+      EXPECT_GE(m.sharp_gbs(b, msync), m.rounded_gbs(b, msync) - 1e-12)
+          << "B=" << b << " m=" << msync;
+    }
+  }
+}
+
+TEST(Model, BandwidthMonotonicInMsgsPerSync) {
+  RooflineModel m(params());
+  for (double b = 8; b <= (1 << 20); b *= 4) {
+    double prev = 0;
+    for (double msync = 1; msync <= 1e6; msync *= 10) {
+      const double bw = m.rounded_gbs(b, msync);
+      EXPECT_GE(bw, prev - 1e-12);
+      prev = bw;
+    }
+  }
+}
+
+TEST(Model, LargeMessagesApproachPeak) {
+  RooflineModel m(params());
+  EXPECT_NEAR(m.rounded_gbs(256 << 20, 1), 32.0, 0.5);
+  EXPECT_LT(m.rounded_gbs(8, 1), 0.1);  // latency-bound regime
+}
+
+TEST(Model, SharpModelEqualsPaperFormula) {
+  // B / max(o, L, B*G) for one message.
+  RooflineModel m(params());
+  const double B = 1024;
+  const double G = params().G_us_per_byte();
+  const double expect = B / std::max({0.3, 3.0, B * G}) * 1e-3;
+  EXPECT_NEAR(m.sharp_gbs(B, 1), expect, 1e-12);
+}
+
+TEST(Model, RoundedModelEqualsPaperFormula) {
+  // B / (o + max(L, B*G)) for one message.
+  RooflineModel m(params());
+  const double B = 65536;
+  const double G = params().G_us_per_byte();
+  const double expect = B / (0.3 + std::max(3.0, B * G)) * 1e-3;
+  EXPECT_NEAR(m.rounded_gbs(B, 1), expect, 1e-12);
+}
+
+TEST(Model, EffectiveLatencyShrinksWithOverlap) {
+  RooflineModel m(params());
+  const double l1 = m.effective_latency_us(8, 1);
+  const double l100 = m.effective_latency_us(8, 100);
+  EXPECT_NEAR(l1, 3.3, 1e-9);       // o + L
+  EXPECT_NEAR(l100, 0.33, 0.01);    // o + L/100
+  EXPECT_GT(l1 / l100, 9.0);        // the paper's "10x by overlapping"
+}
+
+TEST(Model, KneeMovesLeftWithMoreMessages) {
+  RooflineModel m(params());
+  EXPECT_GT(m.knee_bytes(1), m.knee_bytes(100));
+  // At the knee, latency and bandwidth terms balance (sharp model).
+  const double b = m.knee_bytes(1);
+  EXPECT_NEAR(b * params().G_us_per_byte(), 3.0, 1e-9);
+}
+
+TEST(Model, OverlapHeadroomMatchesPaperTenX) {
+  // Fig 1: ~10x improvement available for small messages when L >> G*B.
+  RooflineModel m(params());
+  EXPECT_NEAR(m.overlap_headroom(8), 3.3 / 0.3, 0.01);
+  EXPECT_LT(m.overlap_headroom(4 << 20), 1.05);  // bandwidth-bound: no gain
+}
+
+TEST(Fit, RecoversSyntheticParameters) {
+  const RooflineParams truth{0.25, 2.5, 40.0};
+  RooflineModel m(truth);
+  std::vector<SweepPoint> pts;
+  for (double b = 8; b <= (4 << 20); b *= 4) {
+    for (double msync : {1.0, 10.0, 100.0, 1000.0}) {
+      pts.push_back({b, msync, m.rounded_gbs(b, msync), 0});
+    }
+  }
+  const FitResult f = fit_roofline(pts);
+  EXPECT_NEAR(f.params.o_us, truth.o_us, 0.03);
+  EXPECT_NEAR(f.params.L_us, truth.L_us, 0.25);
+  EXPECT_NEAR(f.params.peak_gbs, truth.peak_gbs, 2.0);
+  EXPECT_LT(f.rms_log_error, 0.05);
+}
+
+TEST(Fit, ToleratesNoise) {
+  const RooflineParams truth{0.5, 5.0, 25.0};
+  RooflineModel m(truth);
+  std::vector<SweepPoint> pts;
+  double wiggle = 0.95;
+  for (double b = 8; b <= (1 << 20); b *= 8) {
+    for (double msync : {1.0, 30.0, 1000.0}) {
+      pts.push_back({b, msync, m.rounded_gbs(b, msync) * wiggle, 0});
+      wiggle = (wiggle == 0.95) ? 1.05 : 0.95;
+    }
+  }
+  const FitResult f = fit_roofline(pts);
+  EXPECT_NEAR(f.params.o_us, truth.o_us, 0.15);
+  EXPECT_NEAR(f.params.peak_gbs, truth.peak_gbs, 4.0);
+}
+
+TEST(Sweep, BandwidthGrowsWithMsgsPerSyncSmallMessages) {
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kTwoSided;
+  cfg.msg_sizes = {64};
+  cfg.msgs_per_sync = {1, 10, 100};
+  cfg.iters = 4;
+  const auto pts = run_sweep(simnet::Platform::perlmutter_cpu(), cfg);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_LT(pts[0].measured_gbs, pts[1].measured_gbs);
+  EXPECT_LT(pts[1].measured_gbs, pts[2].measured_gbs);
+}
+
+TEST(Sweep, LargeMessagesReachPlatformCeiling) {
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kOneSidedMpi;
+  cfg.msg_sizes = {4 << 20};
+  cfg.msgs_per_sync = {16};
+  cfg.iters = 2;
+  const auto pts = run_sweep(simnet::Platform::perlmutter_cpu(), cfg);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_GT(pts[0].measured_gbs, 25.0);
+  EXPECT_LE(pts[0].measured_gbs, 32.5);
+}
+
+TEST(Sweep, OneSidedBeatsTwoSidedAtHighConcurrencyOnPerlmutter) {
+  // Fig 3a headline: one-sided MPI overtakes two-sided as msg/sync grows.
+  SweepConfig two = SweepConfig{};
+  two.kind = SweepKind::kTwoSided;
+  two.msg_sizes = {1024};
+  two.msgs_per_sync = {100};
+  SweepConfig one = two;
+  one.kind = SweepKind::kOneSidedMpi;
+  const auto p = simnet::Platform::perlmutter_cpu();
+  const double bw2 = run_sweep(p, two)[0].measured_gbs;
+  const double bw1 = run_sweep(p, one)[0].measured_gbs;
+  EXPECT_GT(bw1, bw2);
+}
+
+TEST(Sweep, OneSidedLosesOnSummitSpectrumMpi) {
+  // Fig 3c headline: Spectrum MPI one-sided is consistently slower.
+  SweepConfig two = SweepConfig{};
+  two.kind = SweepKind::kTwoSided;
+  two.msg_sizes = {1024};
+  two.msgs_per_sync = {1, 100};
+  SweepConfig one = two;
+  one.kind = SweepKind::kOneSidedMpi;
+  const auto p = simnet::Platform::summit_cpu();
+  const auto pts2 = run_sweep(p, two);
+  const auto pts1 = run_sweep(p, one);
+  for (std::size_t i = 0; i < pts2.size(); ++i) {
+    EXPECT_LT(pts1[i].measured_gbs, pts2[i].measured_gbs) << i;
+  }
+}
+
+TEST(Sweep, CasLatencyProbeMatchesShmemCalibration) {
+  EXPECT_NEAR(
+      measure_cas_latency_us(simnet::Platform::perlmutter_gpu(), 2, 1, 0),
+      0.8, 0.1);
+}
+
+TEST(Split, LargeMessagesGainFromSplittingOnPerlmutterGpu) {
+  SplitConfig cfg;
+  cfg.volumes = {1 << 20};  // 1 MiB >> the 131 KiB crossover
+  cfg.ways = {1, 4};
+  cfg.iters = 4;
+  const auto pts = run_split_sweep(simnet::Platform::perlmutter_gpu(), cfg);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_GT(pts[1].speedup_vs_1, 2.0);  // paper: up to 2.9x
+  EXPECT_LT(pts[1].speedup_vs_1, 4.0);
+}
+
+TEST(Split, TinyMessagesLoseFromSplitting) {
+  SplitConfig cfg;
+  cfg.volumes = {4096};
+  cfg.ways = {1, 4};
+  cfg.iters = 4;
+  const auto pts = run_split_sweep(simnet::Platform::perlmutter_gpu(), cfg);
+  EXPECT_LT(pts[1].speedup_vs_1, 1.0);
+}
+
+TEST(Report, FigureRendersDotsAndCurves) {
+  RooflineFigure fig("test figure", params());
+  fig.add_model_curves({1, 100});
+  fig.add_sharp_curve();
+  fig.add_dot({"stencil", 65536, 4, 10.0});
+  const std::string out = fig.render();
+  EXPECT_NE(out.find("test figure"), std::string::npos);
+  EXPECT_NE(out.find("stencil"), std::string::npos);
+  EXPECT_NE(out.find("% of bound"), std::string::npos);
+  const auto rows = fig.csv_rows();
+  EXPECT_GT(rows.size(), 10u);
+}
+
+TEST(Plot, RendersLogLogScatter) {
+  AsciiPlot p("t", "x", "y");
+  p.add_series({"s", '*', {1, 10, 100}, {1, 100, 10000}});
+  const std::string out = p.render();
+  EXPECT_NE(out.find("[*] s"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrl::core

@@ -1,0 +1,184 @@
+// Engine semantics: virtual-time ordering, determinism, blocking/waking,
+// deadlock detection, error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "simnet/platform.hpp"
+
+namespace mrl::runtime {
+namespace {
+
+simnet::Platform plat() { return simnet::Platform::perlmutter_cpu(); }
+
+TEST(Engine, RunsAllRanksToCompletion) {
+  Engine eng(plat(), 8);
+  std::vector<int> visited(8, 0);
+  const RunResult r = eng.run([&](Rank& rank) { visited[rank.id()] = 1; });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  for (int v : visited) EXPECT_EQ(v, 1);
+  EXPECT_EQ(r.rank_end_us.size(), 8u);
+}
+
+TEST(Engine, AdvanceAccumulatesVirtualTime) {
+  Engine eng(plat(), 2);
+  const RunResult r = eng.run([](Rank& rank) {
+    EXPECT_DOUBLE_EQ(rank.now(), 0.0);
+    rank.advance(1.5);
+    rank.advance(2.5);
+    EXPECT_DOUBLE_EQ(rank.now(), 4.0);
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.makespan_us, 4.0);
+}
+
+TEST(Engine, PerformExecutesInGlobalClockOrder) {
+  Engine eng(plat(), 4);
+  std::vector<int> order;
+  const RunResult r = eng.run([&](Rank& rank) {
+    // Rank i performs at time 10*(3 - i): rank 3 first, rank 0 last.
+    rank.advance(10.0 * (3 - rank.id()));
+    eng.perform(rank, [&] { order.push_back(rank.id()); });
+  });
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Engine, TiesBrokenByRankId) {
+  Engine eng(plat(), 4);
+  std::vector<int> order;
+  const RunResult r = eng.run([&](Rank& rank) {
+    rank.advance(5.0);
+    eng.perform(rank, [&] { order.push_back(rank.id()); });
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, WaitWakesAtConditionTime) {
+  Engine eng(plat(), 2);
+  double flag_time = -1;
+  bool flag = false;
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      rank.advance(7.0);
+      eng.perform(rank, [&] {
+        flag = true;
+        flag_time = rank.now();
+      });
+    } else {
+      eng.wait(rank, "flag", [&]() -> std::optional<double> {
+        if (!flag) return std::nullopt;
+        return flag_time + 3.0;
+      });
+      EXPECT_DOUBLE_EQ(rank.now(), 10.0);
+    }
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Engine, WaitDoesNotGoBackwards) {
+  Engine eng(plat(), 2);
+  bool flag = false;
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      eng.perform(rank, [&] { flag = true; });
+    } else {
+      rank.advance(50.0);
+      eng.wait(rank, "flag", [&]() -> std::optional<double> {
+        return flag ? std::optional<double>(1.0) : std::nullopt;
+      });
+      // Wake time 1.0 is in this rank's past; clock must not regress.
+      EXPECT_DOUBLE_EQ(rank.now(), 50.0);
+    }
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Engine, DeadlockIsDetectedAndReported) {
+  Engine eng(plat(), 2);
+  const RunResult r = eng.run([&](Rank& rank) {
+    eng.wait(rank, "never-satisfied",
+             []() -> std::optional<double> { return std::nullopt; });
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kDeadlock);
+  EXPECT_NE(r.status.message().find("never-satisfied"), std::string::npos);
+}
+
+TEST(Engine, PartialDeadlockAlsoDetected) {
+  // One rank finishes; the other waits forever.
+  Engine eng(plat(), 2);
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 1) {
+      eng.wait(rank, "orphan wait",
+               []() -> std::optional<double> { return std::nullopt; });
+    }
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kDeadlock);
+}
+
+TEST(Engine, BodyExceptionIsPropagatedNotCrashed) {
+  Engine eng(plat(), 4);
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 2) throw std::runtime_error("boom");
+    // Other ranks block; the abort must unwind them.
+    eng.wait(rank, "forever",
+             []() -> std::optional<double> { return std::nullopt; });
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status.message().find("boom"), std::string::npos);
+}
+
+TEST(Engine, DeterministicAcrossRepeatedRuns) {
+  Engine eng(plat(), 16);
+  auto body = [&](Rank& rank) {
+    for (int i = 0; i < 20; ++i) {
+      rank.advance(0.1 * ((rank.id() * 7 + i) % 5 + 1));
+      eng.perform(rank, [] {});
+    }
+  };
+  const RunResult a = eng.run(body);
+  const RunResult b = eng.run(body);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.rank_end_us.size(), b.rank_end_us.size());
+  for (std::size_t i = 0; i < a.rank_end_us.size(); ++i) {
+    EXPECT_EQ(a.rank_end_us[i], b.rank_end_us[i]) << "rank " << i;
+  }
+}
+
+TEST(Engine, ManyRanksComplete) {
+  Engine eng(plat(), 128);
+  std::atomic<int> count{0};
+  const RunResult r = eng.run([&](Rank& rank) {
+    rank.advance(static_cast<double>(rank.id()));
+    eng.perform(rank, [&] { count.fetch_add(1); });
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(count.load(), 128);
+  EXPECT_DOUBLE_EQ(r.makespan_us, 127.0);
+}
+
+TEST(Engine, RejectsMoreRanksThanPlatformHosts) {
+  EXPECT_DEATH(Engine(simnet::Platform::perlmutter_gpu(), 5),
+               "more ranks than the platform");
+}
+
+TEST(Engine, EpochBumpTracked) {
+  Engine eng(plat(), 1);
+  const RunResult r = eng.run([&](Rank& rank) {
+    EXPECT_EQ(rank.epoch(), 0u);
+    rank.bump_epoch();
+    rank.bump_epoch();
+    EXPECT_EQ(rank.epoch(), 2u);
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace mrl::runtime

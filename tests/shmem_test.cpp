@@ -1,0 +1,330 @@
+// minishmem semantics: symmetric heap, put-with-signal ordering/visibility,
+// waits, quiet, atomics, and the paper's GPU CAS latency calibration.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "shmem/shmem.hpp"
+#include "simnet/platform.hpp"
+
+namespace mrl::shmem {
+namespace {
+
+using runtime::Engine;
+
+TEST(Shmem, SymmetricAllocationReturnsSameOffsets) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 4);
+  std::vector<std::uint64_t> offs(4);
+  const auto r = World::run(eng, [&](Ctx& s) {
+    auto a = s.allocate<double>(100);
+    auto b = s.allocate<std::uint64_t>(10);
+    s.barrier_all();
+    offs[static_cast<std::size_t>(s.pe())] = a.offset * 1000000 + b.offset;
+  });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(offs[0], offs[static_cast<std::size_t>(i)]);
+}
+
+TEST(Shmem, PutSignalDeliversDataThenSignal) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto data = s.allocate<double>(64);
+    auto sig = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 0) {
+      std::vector<double> src(64);
+      std::iota(src.begin(), src.end(), 0.0);
+      s.put_signal_nbi(data, src.data(), 64, sig, 1, 1);
+      s.quiet();
+    } else {
+      s.wait_until(sig, 1);
+      const double* d = s.local(data);
+      for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(d[i], i);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, SignalNotVisibleBeforeArrivalTime) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto sig = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 0) {
+      std::uint64_t dummy = 0;
+      s.put_signal_nbi(Sym<std::uint64_t>{sig.offset}, &dummy, 0, sig, 1, 1);
+      s.quiet();
+    } else {
+      // PE 1 reads its local memory immediately at t=0: the signal put needs
+      // >= L (~3.35us) to arrive, so a raw read shows 0.
+      EXPECT_EQ(*s.local(sig), 0u);
+      s.wait_until(sig, 1);
+      EXPECT_EQ(*s.local(sig), 1u);
+      EXPECT_GT(s.now(), 3.0);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, WaitUntilAnyRespectsMask) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto sig = s.allocate<std::uint64_t>(4);
+    if (s.pe() == 0) {
+      std::uint64_t dummy = 0;
+      // Set signals 1 and 3; index 1 is masked out at the receiver.
+      s.put_signal_nbi(sig.at(1), &dummy, 0, sig.at(1), 1, 1);
+      s.put_signal_nbi(sig.at(3), &dummy, 0, sig.at(3), 1, 1);
+      s.quiet();
+    } else {
+      const std::int32_t status[4] = {0, 1, 0, 0};  // ignore slot 1
+      const std::size_t idx = s.wait_until_any(sig, 4, status, 1);
+      EXPECT_EQ(idx, 3u);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, WaitUntilAllBlocksForEveryUnmaskedSignal) {
+  Engine eng(simnet::Platform::summit_gpu(), 3);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto sig = s.allocate<std::uint64_t>(3);
+    if (s.pe() != 0) {
+      std::uint64_t dummy = 0;
+      s.compute(10.0 * s.pe());
+      s.put_signal_nbi(sig.at(static_cast<std::uint64_t>(s.pe())), &dummy, 0,
+                       sig.at(static_cast<std::uint64_t>(s.pe())), 1, 0);
+      s.quiet();
+    } else {
+      const std::int32_t status[3] = {1, 0, 0};  // my own slot is masked
+      s.wait_until_all(sig, 3, status, 1);
+      EXPECT_EQ(s.local(sig)[1], 1u);
+      EXPECT_EQ(s.local(sig)[2], 1u);
+      EXPECT_GT(s.now(), 20.0);  // had to wait for the slowest (PE 2)
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, QuietWaitsForRemoteCompletion) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto data = s.allocate<std::byte>(4 << 20);
+    if (s.pe() == 0) {
+      std::vector<std::byte> src(4 << 20);
+      const double t0 = s.now();
+      s.put_nbi(data, src.data(), src.size(), 1);
+      const double after_put = s.now() - t0;
+      s.quiet();
+      const double after_quiet = s.now() - t0;
+      EXPECT_LT(after_put, 1.0);
+      // 4 MiB over one NVLink3 lane (25 GB/s) ~ 168 us.
+      EXPECT_GT(after_quiet, 150.0);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, FetchAddAccumulates) {
+  Engine eng(simnet::Platform::summit_gpu(), 6);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto counter = s.allocate<std::uint64_t>(1);
+    s.barrier_all();
+    s.atomic_fetch_add(counter, 1, 0);
+    s.barrier_all();
+    if (s.pe() == 0) EXPECT_EQ(*s.local(counter), 6u);
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, CasReturnsOldValueAndSwaps) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto word = s.allocate<std::uint64_t>(1);
+    s.barrier_all();
+    if (s.pe() == 1) {
+      EXPECT_EQ(s.atomic_compare_swap(word, 0, 11, 0), 0u);
+      EXPECT_EQ(s.atomic_compare_swap(word, 0, 22, 0), 11u);  // fails
+      EXPECT_EQ(s.atomic_compare_swap(word, 11, 22, 0), 11u);
+    }
+    s.barrier_all();
+    if (s.pe() == 0) EXPECT_EQ(*s.local(word), 22u);
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+// --- paper Fig 4 / Sec III-C CAS latency calibration ---
+
+double cas_latency(const simnet::Platform& p, int npes, int origin,
+                   int target) {
+  Engine eng(p, npes);
+  double per_op = 0;
+  const auto r = World::run(eng, [&](Ctx& s) {
+    auto word = s.allocate<std::uint64_t>(1);
+    s.barrier_all();
+    if (s.pe() == origin) {
+      constexpr int kReps = 32;
+      const double t0 = s.now();
+      for (int i = 0; i < kReps; ++i) s.atomic_fetch_add(word, 1, target);
+      per_op = (s.now() - t0) / kReps;
+    }
+    s.barrier_all();
+  });
+  EXPECT_TRUE(r.ok());
+  return per_op;
+}
+
+TEST(ShmemCalibration, PerlmutterGpuCasIs0p8us) {
+  EXPECT_NEAR(cas_latency(simnet::Platform::perlmutter_gpu(), 4, 1, 0), 0.8,
+              0.1);
+}
+
+TEST(ShmemCalibration, SummitGpuCasIntraSocketIs1us) {
+  EXPECT_NEAR(cas_latency(simnet::Platform::summit_gpu(), 6, 1, 0), 1.0, 0.1);
+}
+
+TEST(ShmemCalibration, SummitGpuCasCrossSocketIs1p6us) {
+  EXPECT_NEAR(cas_latency(simnet::Platform::summit_gpu(), 6, 4, 0), 1.6, 0.1);
+}
+
+TEST(Shmem, PutSignalSingleMessageLatencyPerlmutterGpu) {
+  // Fig 4a: ~4 us end-to-end latency at 1 msg/sync on Perlmutter GPUs.
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  double arrival = 0;
+  const auto r = World::run(eng, [&](Ctx& s) {
+    auto data = s.allocate<double>(1);
+    auto sig = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 0) {
+      double v = 1.0;
+      s.put_signal_nbi(data, &v, 1, sig, 1, 1);
+      s.quiet();
+    } else {
+      s.wait_until(sig, 1);
+      arrival = s.now();
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(arrival, 4.0, 0.5);
+}
+
+TEST(Shmem, AsymmetricAllocationAborts) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  EXPECT_DEATH(
+      {
+        auto res = World::run(eng, [](Ctx& s) {
+          auto a = s.allocate<double>(s.pe() == 0 ? 10 : 20);
+          (void)a;
+          s.barrier_all();
+        });
+        (void)res;
+      },
+      "asymmetric");
+}
+
+TEST(Shmem, GetReadsRemoteHeap) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto data = s.allocate<double>(4);
+    if (s.pe() == 1) s.local(data)[3] = 9.75;
+    s.barrier_all();
+    if (s.pe() == 0) {
+      double got = 0;
+      s.get(&got, data.at(3), 1, 1);
+      EXPECT_DOUBLE_EQ(got, 9.75);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, PlainPutNbiAppliedAtBarrier) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto data = s.allocate<double>(8);
+    if (s.pe() == 0) {
+      double src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+      s.put_nbi(data, src, 8, 1);
+      s.quiet();
+    }
+    s.barrier_all();
+    if (s.pe() == 1) {
+      for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(s.local(data)[i], i + 1);
+    }
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, WaitUntilArbitraryValue) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto sig = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 0) {
+      for (std::uint64_t v = 1; v <= 3; ++v) {
+        std::uint64_t dummy = 0;
+        s.put_signal_nbi(sig, &dummy, 0, sig, v, 1);
+      }
+      s.quiet();
+    } else {
+      s.wait_until(sig, 3);  // intermediate values 1, 2 must not satisfy
+      EXPECT_EQ(*s.local(sig), 3u);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, AllocationAlignmentIsRespected) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto a = s.allocate<std::byte>(3);       // odd size
+    auto b = s.allocate<double>(1);          // must be 8-aligned
+    auto cc = s.allocate<std::uint64_t>(1);
+    EXPECT_EQ(b.offset % alignof(double), 0u);
+    EXPECT_EQ(cc.offset % 8, 0u);
+    EXPECT_GE(b.offset, a.offset + 3);
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, SumAllReducesValues) {
+  Engine eng(simnet::Platform::summit_gpu(), 6);
+  const auto r = World::run(eng, [](Ctx& s) {
+    const double total = s.sum_all(static_cast<double>(s.pe() + 1));
+    EXPECT_DOUBLE_EQ(total, 21.0);
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Shmem, FrontierGpuCalibration) {
+  // Extension platform: ROC_SHMEM-projected atomics stay fast and scale
+  // with the Infinity-Fabric route (in-package vs package-to-package).
+  const auto p = simnet::Platform::frontier_gpu();
+  const double intra = cas_latency(p, 8, 1, 0);  // same MI250X package
+  const double inter = cas_latency(p, 8, 2, 0);  // across packages
+  EXPECT_LT(intra, inter);
+  EXPECT_LT(inter, 2.5);
+  EXPECT_GT(intra, 0.5);
+}
+
+TEST(Shmem, HeapExhaustionAborts) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2);
+  World::Options opt;
+  opt.heap_bytes = 1024;
+  EXPECT_DEATH(
+      {
+        auto res = World::run(
+            eng, [](Ctx& s) { auto big = s.allocate<double>(4096); (void)big; },
+            opt);
+        (void)res;
+      },
+      "heap exhausted");
+}
+
+}  // namespace
+}  // namespace mrl::shmem

@@ -1,0 +1,279 @@
+// simnet: links, topology/routing, fabric cost arithmetic, platforms, trace.
+#include <gtest/gtest.h>
+
+#include "simnet/fabric.hpp"
+#include "simnet/platform.hpp"
+#include "simnet/topology.hpp"
+#include "simnet/trace.hpp"
+
+namespace mrl::simnet {
+namespace {
+
+Topology two_node_topo(int channels = 1) {
+  Topology t;
+  const int a = t.add_endpoint("a", EndpointKind::kSocket);
+  const int b = t.add_endpoint("b", EndpointKind::kSocket);
+  t.add_link(a, b, LinkSpec{"wire", /*bw=*/10.0, /*lat=*/1.0, channels});
+  t.finalize();
+  return t;
+}
+
+TEST(Link, ChannelMath) {
+  LinkSpec s{"x", 100.0, 0.1, 4};
+  EXPECT_DOUBLE_EQ(s.channel_gbs(), 25.0);
+  // 25 GB/s = 25000 bytes/us -> 1 MiB takes ~41.9 us on one lane.
+  EXPECT_NEAR(s.channel_ser_us(1 << 20), 41.94, 0.01);
+  EXPECT_NEAR(s.full_ser_us(1 << 20), 10.49, 0.01);
+}
+
+TEST(LinkState, PicksEarliestLane) {
+  LinkSpec spec{"x", 100.0, 0.1, 3};
+  LinkState st(spec);
+  st.set_lane_free_at(0, 5.0);
+  st.set_lane_free_at(1, 2.0);
+  st.set_lane_free_at(2, 9.0);
+  EXPECT_EQ(st.earliest_lane(), 1);
+  st.reset();
+  EXPECT_EQ(st.earliest_lane(), 0);
+}
+
+TEST(Topology, RoutesAreMinHopAndDeterministic) {
+  Topology t;
+  const int a = t.add_endpoint("a", EndpointKind::kSocket);
+  const int b = t.add_endpoint("b", EndpointKind::kSocket);
+  const int c = t.add_endpoint("c", EndpointKind::kSocket);
+  t.add_link(a, b, LinkSpec{"ab", 10, 0.5, 1});
+  t.add_link(b, c, LinkSpec{"bc", 10, 0.5, 1});
+  t.add_link(a, c, LinkSpec{"ac", 10, 2.0, 1});
+  t.finalize();
+  EXPECT_EQ(t.route(a, c).size(), 1u);  // direct edge wins on hops
+  EXPECT_EQ(t.route(a, b).size(), 1u);
+  EXPECT_DOUBLE_EQ(t.route_latency_us(a, c), 2.0);
+  EXPECT_DOUBLE_EQ(t.route_latency_us(a, b), 0.5);
+  EXPECT_EQ(t.route(a, a).size(), 0u);
+}
+
+TEST(Topology, DisconnectedGraphAborts) {
+  Topology t;
+  t.add_endpoint("a", EndpointKind::kSocket);
+  t.add_endpoint("b", EndpointKind::kSocket);
+  EXPECT_DEATH(t.finalize(), "disconnected");
+}
+
+TEST(Fabric, SingleTransferCost) {
+  const Topology t = two_node_topo();
+  Fabric f(&t, RouteMode::kCutThrough, /*local_bw=*/20.0, /*local_lat=*/0.1);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  p.bytes = 10000;  // at 10 GB/s: 1 us
+  p.start_us = 5.0;
+  p.sw_latency_us = 2.0;
+  p.inj_gap_us = 0.05;
+  const TransferResult r = f.transfer(p);
+  // arrival = start + hop latency + serialization + software latency.
+  EXPECT_DOUBLE_EQ(r.arrival_us, 5.0 + 1.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(r.inject_free_us, 5.05);
+}
+
+TEST(Fabric, LocalTransferUsesLocalParams) {
+  const Topology t = two_node_topo();
+  Fabric f(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 0;
+  p.bytes = 20000;  // at 20 GB/s: 1 us
+  p.start_us = 0;
+  p.sw_latency_us = 0.5;
+  const TransferResult r = f.transfer(p);
+  EXPECT_DOUBLE_EQ(r.arrival_us, 0.5 + 0.1 + 1.0);
+}
+
+TEST(Fabric, ContentionSerializesOnOneLane) {
+  const Topology t = two_node_topo(/*channels=*/1);
+  Fabric f(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  p.bytes = 10000;  // 1 us serialization
+  p.start_us = 0.0;
+  const TransferResult r1 = f.transfer(p);
+  const TransferResult r2 = f.transfer(p);  // must queue behind r1
+  EXPECT_DOUBLE_EQ(r1.arrival_us, 0.0 + 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(r2.arrival_us, 1.0 + 1.0 + 1.0);
+}
+
+TEST(Fabric, ChannelsAllowConcurrentStreams) {
+  const Topology t = two_node_topo(/*channels=*/2);
+  Fabric f(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  p.bytes = 10000;  // one lane = 5 GB/s -> 2 us serialization
+  p.start_us = 0.0;
+  const TransferResult r1 = f.transfer(p);
+  const TransferResult r2 = f.transfer(p);  // second lane: no queueing
+  EXPECT_DOUBLE_EQ(r1.arrival_us, r2.arrival_us);
+  const TransferResult r3 = f.transfer(p);  // lanes busy: queues
+  EXPECT_GT(r3.arrival_us, r1.arrival_us);
+}
+
+TEST(Fabric, StoreForwardSlowerThanCutThroughOnMultiHop) {
+  Topology t;
+  const int a = t.add_endpoint("a", EndpointKind::kSocket);
+  const int b = t.add_endpoint("b", EndpointKind::kSwitch);
+  const int c = t.add_endpoint("c", EndpointKind::kSocket);
+  t.add_link(a, b, LinkSpec{"ab", 10, 0.5, 1});
+  t.add_link(b, c, LinkSpec{"bc", 10, 0.5, 1});
+  t.finalize();
+  TransferParams p;
+  p.src_ep = a;
+  p.dst_ep = c;
+  p.bytes = 100000;  // 10 us per hop at 10 GB/s
+  Fabric ct(&t, RouteMode::kCutThrough, 20, 0.1);
+  Fabric sf(&t, RouteMode::kStoreForward, 20, 0.1);
+  const double t_ct = ct.transfer(p).arrival_us;
+  const double t_sf = sf.transfer(p).arrival_us;
+  EXPECT_DOUBLE_EQ(t_ct, 0.5 + 0.5 + 10.0);
+  EXPECT_DOUBLE_EQ(t_sf, 0.5 + 10.0 + 0.5 + 10.0);
+}
+
+TEST(Fabric, PerStreamCapApplies)
+{
+  const Topology t = two_node_topo();
+  Fabric f(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  p.bytes = 10000;
+  p.per_stream_gbs = 5.0;  // cap below the 10 GB/s link
+  const TransferResult r = f.transfer(p);
+  EXPECT_DOUBLE_EQ(r.arrival_us, 1.0 + 2.0);
+}
+
+TEST(Fabric, ResetClearsContention) {
+  const Topology t = two_node_topo();
+  Fabric f(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  p.bytes = 10000;
+  (void)f.transfer(p);
+  f.reset();
+  EXPECT_EQ(f.total_msgs(), 0u);
+  const TransferResult r = f.transfer(p);
+  EXPECT_DOUBLE_EQ(r.arrival_us, 2.0);
+}
+
+// --- platform registry invariants, parameterized over Table I machines ---
+
+class PlatformTest : public ::testing::TestWithParam<int> {
+ protected:
+  Platform p_ = Platform::all()[static_cast<std::size_t>(GetParam())];
+};
+
+TEST_P(PlatformTest, TopologyIsFinalizedAndConnected) {
+  EXPECT_TRUE(p_.topology().finalized());
+  EXPECT_GE(p_.topology().num_endpoints(), 2);
+  EXPECT_GE(p_.topology().num_links(), 1);
+}
+
+TEST_P(PlatformTest, RankMappingRespectsCapacity) {
+  const int n = p_.max_ranks();
+  for (int rank = 0; rank < n; ++rank) {
+    const int ep = p_.endpoint_of_rank(rank, n);
+    ASSERT_GE(ep, 0);
+    ASSERT_LT(ep, p_.topology().num_endpoints());
+    const EndpointKind k = p_.topology().endpoint(ep).kind;
+    EXPECT_TRUE(k == EndpointKind::kSocket || k == EndpointKind::kGpu);
+  }
+}
+
+TEST_P(PlatformTest, LogGPParametersArePositive) {
+  for (Runtime r : {Runtime::kTwoSidedMpi, Runtime::kOneSidedMpi,
+                    Runtime::kShmem}) {
+    const LogGP& g = p_.params(r);
+    EXPECT_GT(g.L_us, 0) << to_string(r);
+    EXPECT_GT(g.o_us, 0) << to_string(r);
+    EXPECT_GE(g.g_us, 0) << to_string(r);
+    EXPECT_GE(g.atomic_L_us, 0) << to_string(r);
+  }
+}
+
+TEST_P(PlatformTest, FabricConstructs) {
+  auto f = p_.make_fabric();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(&f->topology(), &p_.topology());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformTest, ::testing::Range(0, 6),
+                         [](const auto& info) {
+                           return Platform::all()[static_cast<std::size_t>(
+                                      info.param)]
+                                      .name()
+                                      .find("GPU") != std::string::npos
+                                      ? "gpu" + std::to_string(info.param)
+                                      : "cpu" + std::to_string(info.param);
+                         });
+
+TEST(PlatformCalibration, PerlmutterCpuPairBandwidthIs32) {
+  const Platform p = Platform::perlmutter_cpu();
+  // Rank 0 on socket 0, last rank on socket 1 (block distribution).
+  EXPECT_DOUBLE_EQ(p.pair_peak_gbs(0, 127, 128), 128.0);
+  const Topology& t = p.topology();
+  EXPECT_DOUBLE_EQ(t.route_channel_gbs(0, 1), 32.0);
+}
+
+TEST(PlatformCalibration, SummitGpuDumbbellRouting) {
+  const Platform p = Platform::summit_gpu();
+  // Intra-island: 1 hop; cross-island: via both sockets (3 hops).
+  const int g0 = p.endpoint_of_rank(0, 6);
+  const int g1 = p.endpoint_of_rank(1, 6);
+  const int g3 = p.endpoint_of_rank(3, 6);
+  EXPECT_EQ(p.topology().route(g0, g1).size(), 1u);
+  EXPECT_EQ(p.topology().route(g0, g3).size(), 3u);
+  EXPECT_NEAR(p.hw_rtt_us(0, 1, 6), 0.5, 1e-9);
+  EXPECT_NEAR(p.hw_rtt_us(0, 3, 6), 1.1, 1e-9);
+}
+
+TEST(PlatformCalibration, FrontierUltimateBoundIs36) {
+  const Platform p = Platform::frontier_cpu();
+  EXPECT_DOUBLE_EQ(p.topology().route_channel_gbs(0, 1), 36.0);
+}
+
+TEST(Trace, SummaryComputesMsgsPerSyncAndBandwidth) {
+  Trace tr;
+  tr.set_enabled(true);
+  // Two epochs from rank 0: 3 msgs in epoch 0, 1 msg in epoch 1.
+  tr.record({0, 1, 1000, 0.0, 2.0, OpKind::kSend, 0});
+  tr.record({0, 1, 1000, 0.5, 2.5, OpKind::kSend, 0});
+  tr.record({0, 1, 1000, 1.0, 3.0, OpKind::kSend, 0});
+  tr.record({0, 1, 1000, 5.0, 10.0, OpKind::kSend, 1});
+  const TraceSummary s = tr.summarize();
+  EXPECT_EQ(s.num_msgs, 4u);
+  EXPECT_EQ(s.num_epochs, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_msgs_per_sync, 2.0);
+  EXPECT_DOUBLE_EQ(s.avg_msg_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(s.span_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.sustained_gbs, 0.4);  // 4000 B / 10 us
+  EXPECT_DOUBLE_EQ(s.avg_latency_us, (2.0 + 2.0 + 2.0 + 5.0) / 4.0);
+}
+
+TEST(Trace, KindFilteredSummary) {
+  Trace tr;
+  tr.set_enabled(true);
+  tr.record({0, 1, 100, 0.0, 1.0, OpKind::kPut, 0});
+  tr.record({0, 1, 8, 0.0, 1.0, OpKind::kSignal, 0});
+  EXPECT_EQ(tr.summarize(OpKind::kPut).num_msgs, 1u);
+  EXPECT_DOUBLE_EQ(tr.summarize(OpKind::kPut).avg_msg_bytes, 100.0);
+  EXPECT_EQ(tr.summarize(OpKind::kAtomic).num_msgs, 0u);
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Trace tr;
+  tr.record({0, 1, 100, 0.0, 1.0, OpKind::kPut, 0});
+  EXPECT_TRUE(tr.records().empty());
+}
+
+}  // namespace
+}  // namespace mrl::simnet

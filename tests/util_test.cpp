@@ -1,0 +1,161 @@
+// util: stats, rng, units, table, csv, histogram.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace mrl {
+namespace {
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status s(ErrorCode::kInvalidArgument, "bad");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad");
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status(ErrorCode::kNotFound, "missing"));
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(RunningStats, MeanVarMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(median(v), 5.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 3.25);
+}
+
+TEST(LinearFitTest, RecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Geomean, Basic) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StreamsAreIndependentlySeeded) {
+  Xoshiro256 a = Xoshiro256::for_stream(1, 0);
+  Xoshiro256 b = Xoshiro256::for_stream(1, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformBounds) {
+  Xoshiro256 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(g.uniform(10), 10u);
+    const double u = g.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = g.uniform_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(bytes_per_us_to_gbs(32000.0, 1.0), 32.0);
+  EXPECT_DOUBLE_EQ(gbs_to_us_per_byte(32.0) * 32e9, 1e6);
+  EXPECT_NEAR(us_per_byte_to_gbs(gbs_to_us_per_byte(25.0)), 25.0, 1e-12);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_bytes(24), "24 B");
+  EXPECT_EQ(format_bytes(131072), "128 KiB");
+  EXPECT_EQ(format_bytes(2u << 20), "2 MiB");
+  EXPECT_EQ(format_time_us(3.3), "3.30 us");
+  EXPECT_EQ(format_time_us(1234.0), "1.23 ms");
+  EXPECT_EQ(format_gbs(32.0), "32.00 GB/s");
+  EXPECT_EQ(format_count(1000000), "1M");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"a", "bb"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"longer", "2"});
+  const std::string out = t.render("title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b,c"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+TEST(Histogram, BucketsPowersOfTwo) {
+  Log2Histogram h;
+  h.add(1);    // bucket 0
+  h.add(3);    // bucket 1
+  h.add(1024); // bucket 10
+  h.add_n(1025, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(10), 3u);
+  EXPECT_EQ(h.min_bucket(), 0);
+  EXPECT_EQ(h.max_bucket(), 10);
+  EXPECT_NE(h.render("B").find("1024"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrl

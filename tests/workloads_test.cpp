@@ -1,0 +1,369 @@
+// Workload correctness: every communication variant must reproduce the
+// serial reference numerics, across platforms and rank counts (TEST_P).
+#include <gtest/gtest.h>
+
+#include "simnet/platform.hpp"
+#include "workloads/hashtable/hashtable.hpp"
+#include "workloads/sptrsv/sptrsv.hpp"
+#include "workloads/stencil/stencil.hpp"
+
+namespace mrl::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stencil
+// ---------------------------------------------------------------------------
+
+stencil::Config small_stencil() {
+  stencil::Config cfg;
+  cfg.n = 64;
+  cfg.iters = 4;
+  return cfg;
+}
+
+TEST(StencilDecomp, GridChoicesMultiplyOut) {
+  int px = 0, py = 0;
+  stencil::choose_grid(12, &px, &py);
+  EXPECT_EQ(px * py, 12);
+  stencil::choose_grid(7, &px, &py);
+  EXPECT_EQ(px * py, 7);
+  stencil::choose_grid(1, &px, &py);
+  EXPECT_EQ(px * py, 1);
+}
+
+TEST(StencilDecomp, BlocksTileTheGrid) {
+  const int n = 100, nranks = 6;
+  std::vector<int> covered(static_cast<std::size_t>(n) * n, 0);
+  for (int r = 0; r < nranks; ++r) {
+    const stencil::Decomp d = stencil::make_decomp(n, nranks, r, 0, 0);
+    for (int y = d.y0; y < d.y1; ++y) {
+      for (int x = d.x0; x < d.x1; ++x) {
+        ++covered[static_cast<std::size_t>(y) * n + x];
+      }
+    }
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(StencilDecomp, NeighborsAreMutual) {
+  const int n = 64, nranks = 8;
+  for (int r = 0; r < nranks; ++r) {
+    const stencil::Decomp d = stencil::make_decomp(n, nranks, r, 0, 0);
+    if (d.east >= 0) {
+      const stencil::Decomp e = stencil::make_decomp(n, nranks, d.east, 0, 0);
+      EXPECT_EQ(e.west, r);
+    }
+    if (d.south >= 0) {
+      const stencil::Decomp s2 = stencil::make_decomp(n, nranks, d.south, 0, 0);
+      EXPECT_EQ(s2.north, r);
+    }
+  }
+}
+
+class StencilRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilRanks, TwoSidedMatchesSerialBitwise) {
+  const auto r = stencil::run_two_sided(simnet::Platform::perlmutter_cpu(),
+                                        GetParam(), small_stencil());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.max_abs_err, 0.0);
+  EXPECT_GT(r.time_us, 0.0);
+}
+
+TEST_P(StencilRanks, OneSidedMatchesSerialBitwise) {
+  const auto r = stencil::run_one_sided(simnet::Platform::perlmutter_cpu(),
+                                        GetParam(), small_stencil());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.max_abs_err, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, StencilRanks, ::testing::Values(1, 2, 4, 6, 9, 16));
+
+TEST(StencilGpu, MatchesSerialOnPerlmutterGpu) {
+  const auto r = stencil::run_shmem_gpu(simnet::Platform::perlmutter_gpu(), 4,
+                                        small_stencil());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.max_abs_err, 0.0);
+}
+
+TEST(StencilGpu, MatchesSerialOnSummitDumbbell) {
+  const auto r = stencil::run_shmem_gpu(simnet::Platform::summit_gpu(), 6,
+                                        small_stencil());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.max_abs_err, 0.0);
+}
+
+TEST(StencilGpu, HostStagedMatchesSerialAndLosesToGpuInitiated) {
+  // The paper's motivation: host-initiated staging (D2H + MPI + H2D with
+  // launch overheads) is slower than GPU-initiated put-with-signal for
+  // latency-sensitive halo exchanges — and both are numerically identical.
+  stencil::Config cfg = small_stencil();
+  const auto plat = simnet::Platform::perlmutter_gpu();
+  const auto staged = stencil::run_host_staged_gpu(plat, 4, cfg);
+  const auto direct = stencil::run_shmem_gpu(plat, 4, cfg);
+  ASSERT_TRUE(staged.status.is_ok()) << staged.status.to_string();
+  EXPECT_EQ(staged.max_abs_err, 0.0);
+  EXPECT_GT(staged.time_us, direct.time_us);
+}
+
+TEST(StencilMsgs, FourMessagesPerSyncForInteriorRanks) {
+  // 3x3 rank grid: the center rank has 4 neighbors (Table II: msg/sync = 4).
+  stencil::Config cfg = small_stencil();
+  cfg.n = 66;
+  const auto r =
+      stencil::run_two_sided(simnet::Platform::perlmutter_cpu(), 9, cfg);
+  ASSERT_TRUE(r.status.is_ok());
+  // Average over edge+corner+center ranks lies between 2 and 4.
+  EXPECT_GT(r.msgs.avg_msgs_per_sync, 2.0);
+  EXPECT_LE(r.msgs.avg_msgs_per_sync, 4.0);
+}
+
+TEST(StencilPerf, CpuOneSidedRoughlyEqualsTwoSided) {
+  // Paper Fig 5: stencil is bandwidth/compute bound on CPUs, so the 20%
+  // latency advantage of one-sided does not show end-to-end.
+  stencil::Config cfg;
+  cfg.n = 1024;  // large enough that compute dominates, as in the paper
+  cfg.iters = 2;
+  cfg.verify = false;
+  const auto two =
+      stencil::run_two_sided(simnet::Platform::perlmutter_cpu(), 16, cfg);
+  const auto one =
+      stencil::run_one_sided(simnet::Platform::perlmutter_cpu(), 16, cfg);
+  ASSERT_TRUE(two.status.is_ok());
+  ASSERT_TRUE(one.status.is_ok());
+  EXPECT_NEAR(one.time_us / two.time_us, 1.0, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// SpTRSV
+// ---------------------------------------------------------------------------
+
+sptrsv::GenConfig small_gen() {
+  sptrsv::GenConfig g;
+  g.n = 600;
+  g.min_sn = 3;
+  g.max_sn = 40;
+  g.fill = 3.0;
+  return g;
+}
+
+TEST(SptrsvMatrix, GeneratorInvariants) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  EXPECT_EQ(L.n(), 600);
+  int cols = 0;
+  for (int J = 0; J < L.num_supernodes(); ++J) {
+    cols += L.sn_size(J);
+    EXPECT_GE(L.sn_size(J), 1);
+    EXPECT_LE(L.sn_size(J), 40);
+    int prev_i = J;
+    for (const auto& blk : L.col(J)) {
+      EXPECT_GT(blk.I, prev_i);  // sorted ascending, strictly below diagonal
+      prev_i = blk.I;
+      EXPECT_EQ(blk.vals.size(),
+                static_cast<std::size_t>(L.sn_size(blk.I)) * L.sn_size(J));
+    }
+    // Diagonal dominance of the triangular block diag entries.
+    const auto& dg = L.diag(J);
+    for (int r = 0; r < L.sn_size(J); ++r) {
+      EXPECT_GE(dg[static_cast<std::size_t>(r) * L.sn_size(J) + r], 1.0);
+    }
+  }
+  EXPECT_EQ(cols, 600);
+  EXPECT_GT(L.nnz(), 0u);
+}
+
+TEST(SptrsvMatrix, DeterministicForSeed) {
+  const auto a = sptrsv::SupernodalMatrix::generate(small_gen());
+  const auto b = sptrsv::SupernodalMatrix::generate(small_gen());
+  ASSERT_EQ(a.num_supernodes(), b.num_supernodes());
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.diag(0), b.diag(0));
+}
+
+TEST(SptrsvReference, SolvesTheSystem) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  const auto b = L.make_rhs(3);
+  const auto x = sptrsv::reference_solve(L, b);
+  // Residual check: recompute L*x column by column.
+  std::vector<double> lx(static_cast<std::size_t>(L.n()), 0.0);
+  for (int J = 0; J < L.num_supernodes(); ++J) {
+    const int f = L.sn_first(J);
+    const int cj = L.sn_size(J);
+    for (int r = 0; r < cj; ++r) {
+      for (int c = 0; c <= r; ++c) {
+        lx[static_cast<std::size_t>(f + r)] +=
+            L.diag(J)[static_cast<std::size_t>(r) * cj + c] *
+            x[static_cast<std::size_t>(f + c)];
+      }
+    }
+    for (const auto& blk : L.col(J)) {
+      const int fi = L.sn_first(blk.I);
+      for (int r = 0; r < L.sn_size(blk.I); ++r) {
+        for (int c = 0; c < cj; ++c) {
+          lx[static_cast<std::size_t>(fi + r)] +=
+              blk.vals[static_cast<std::size_t>(r) * cj + c] *
+              x[static_cast<std::size_t>(f + c)];
+        }
+      }
+    }
+  }
+  EXPECT_LT(sptrsv::relative_error(lx, b), 1e-10);
+}
+
+TEST(SptrsvPlan, MessageCountsBalance) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  const int P = 6;
+  // Sum over receivers of expected messages equals sum over plan structure.
+  int total_expected = 0;
+  std::size_t total_slots = 0;
+  for (int r = 0; r < P; ++r) {
+    const auto plan = sptrsv::SolvePlan::build(L, P, r);
+    EXPECT_EQ(plan.expected_x + plan.expected_lsum, plan.total_slots(r));
+    total_expected += plan.expected_x + plan.expected_lsum;
+    total_slots += static_cast<std::size_t>(plan.total_slots(r));
+  }
+  EXPECT_EQ(static_cast<std::size_t>(total_expected), total_slots);
+  EXPECT_GT(total_expected, 0);
+}
+
+class SptrsvRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(SptrsvRanks, TwoSidedMatchesReference) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  sptrsv::Config cfg;
+  const auto r = sptrsv::run_two_sided(simnet::Platform::perlmutter_cpu(),
+                                       GetParam(), L, cfg);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_LT(r.rel_err, 1e-9);
+}
+
+TEST_P(SptrsvRanks, OneSidedMatchesReference) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  sptrsv::Config cfg;
+  const auto r = sptrsv::run_one_sided(simnet::Platform::perlmutter_cpu(),
+                                       GetParam(), L, cfg);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_LT(r.rel_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SptrsvRanks, ::testing::Values(1, 2, 4, 6, 8, 12));
+
+TEST(SptrsvGpu, MatchesReferenceOnBothGpuPlatforms) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  sptrsv::Config cfg;
+  const auto a =
+      sptrsv::run_shmem_gpu(simnet::Platform::perlmutter_gpu(), 4, L, cfg);
+  ASSERT_TRUE(a.status.is_ok()) << a.status.to_string();
+  EXPECT_LT(a.rel_err, 1e-9);
+  const auto b =
+      sptrsv::run_shmem_gpu(simnet::Platform::summit_gpu(), 6, L, cfg);
+  ASSERT_TRUE(b.status.is_ok()) << b.status.to_string();
+  EXPECT_LT(b.rel_err, 1e-9);
+}
+
+TEST(SptrsvPerf, OneSidedSlowerThanTwoSidedOnCpu) {
+  // Fig 8 headline: 4 MPI ops per message + the ack scan make one-sided
+  // SpTRSV slower than two-sided on CPUs.
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  sptrsv::Config cfg;
+  cfg.verify = false;
+  const auto two =
+      sptrsv::run_two_sided(simnet::Platform::perlmutter_cpu(), 8, L, cfg);
+  const auto one =
+      sptrsv::run_one_sided(simnet::Platform::perlmutter_cpu(), 8, L, cfg);
+  ASSERT_TRUE(two.status.is_ok());
+  ASSERT_TRUE(one.status.is_ok());
+  EXPECT_GT(one.time_us, two.time_us);
+}
+
+TEST(SptrsvMsgs, OneMessagePerSyncAndPaperSizes) {
+  const auto L = sptrsv::SupernodalMatrix::generate(small_gen());
+  sptrsv::Config cfg;
+  const auto r = sptrsv::run_two_sided(simnet::Platform::perlmutter_cpu(), 8,
+                                       L, cfg);
+  ASSERT_TRUE(r.status.is_ok());
+  // Table II: 1 msg/sync. Our sender-side trace epochs batch a fan-out of
+  // x_J to several destinations into one epoch, so the average sits between
+  // 1 and 2 while the per-receive behaviour is one message per sync.
+  EXPECT_GE(r.msgs.avg_msgs_per_sync, 1.0);
+  EXPECT_LE(r.msgs.avg_msgs_per_sync, 2.0);
+  EXPECT_GE(r.msgs.min_msg_bytes, 24.0);   // >= 3 words + header
+  EXPECT_LE(r.msgs.max_msg_bytes, 1048.0); // <= 130 words + header
+}
+
+// ---------------------------------------------------------------------------
+// HashTable
+// ---------------------------------------------------------------------------
+
+hashtable::Config small_ht() {
+  hashtable::Config cfg;
+  cfg.total_inserts = 3000;
+  cfg.slots_per_rank = 1u << 12;
+  cfg.overflow_per_rank = 1u << 12;
+  return cfg;
+}
+
+TEST(HashtablePlacement, DeterministicAndInRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t key = hashtable::key_for(1, i);
+    EXPECT_NE(key, 0u);
+    const auto p = hashtable::place(key, 8, 1024);
+    EXPECT_GE(p.owner, 0);
+    EXPECT_LT(p.owner, 8);
+    EXPECT_LT(p.slot, 1024u);
+    const auto q = hashtable::place(key, 8, 1024);
+    EXPECT_EQ(p.owner, q.owner);
+    EXPECT_EQ(p.slot, q.slot);
+  }
+}
+
+class HashtableRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashtableRanks, OneSidedStoresEveryKey) {
+  const auto r = hashtable::run_one_sided(simnet::Platform::perlmutter_cpu(),
+                                          GetParam(), small_ht());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_GT(r.collisions, 0u);  // load factor high enough to chain
+}
+
+TEST_P(HashtableRanks, TwoSidedStoresEveryKey) {
+  const auto r = hashtable::run_two_sided(simnet::Platform::perlmutter_cpu(),
+                                          GetParam(), small_ht());
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_TRUE(r.verify_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, HashtableRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST(HashtableGpu, StoresEveryKeyOnBothGpuPlatforms) {
+  const auto a = hashtable::run_shmem_gpu(simnet::Platform::perlmutter_gpu(),
+                                          4, small_ht());
+  ASSERT_TRUE(a.status.is_ok()) << a.status.to_string();
+  EXPECT_TRUE(a.verify_ok);
+  const auto b =
+      hashtable::run_shmem_gpu(simnet::Platform::summit_gpu(), 6, small_ht());
+  ASSERT_TRUE(b.status.is_ok()) << b.status.to_string();
+  EXPECT_TRUE(b.verify_ok);
+}
+
+TEST(HashtablePerf, OneSidedWinsAtScaleLosesAtTwoRanks) {
+  // Fig 9: one-sided ~5x faster at high rank counts, but SLOWER at P=2
+  // (a 2 us CAS vs a single 1.1 us two-sided message round).
+  hashtable::Config cfg = small_ht();
+  cfg.verify = false;
+  const auto p = simnet::Platform::perlmutter_cpu();
+  const auto one16 = hashtable::run_one_sided(p, 16, cfg);
+  const auto two16 = hashtable::run_two_sided(p, 16, cfg);
+  ASSERT_TRUE(one16.status.is_ok());
+  ASSERT_TRUE(two16.status.is_ok());
+  EXPECT_LT(one16.time_us, two16.time_us);
+  EXPECT_GT(two16.time_us / one16.time_us, 2.0);
+
+  const auto one2 = hashtable::run_one_sided(p, 2, cfg);
+  const auto two2 = hashtable::run_two_sided(p, 2, cfg);
+  EXPECT_GT(one2.time_us, two2.time_us);
+}
+
+}  // namespace
+}  // namespace mrl::workloads
