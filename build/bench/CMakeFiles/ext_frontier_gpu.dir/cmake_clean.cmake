@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_frontier_gpu.dir/ext_frontier_gpu.cpp.o"
+  "CMakeFiles/ext_frontier_gpu.dir/ext_frontier_gpu.cpp.o.d"
+  "ext_frontier_gpu"
+  "ext_frontier_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_frontier_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

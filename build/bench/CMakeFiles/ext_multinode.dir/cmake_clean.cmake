@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multinode.dir/ext_multinode.cpp.o"
+  "CMakeFiles/ext_multinode.dir/ext_multinode.cpp.o.d"
+  "ext_multinode"
+  "ext_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_gpu_putsignal.dir/fig04_gpu_putsignal.cpp.o"
+  "CMakeFiles/fig04_gpu_putsignal.dir/fig04_gpu_putsignal.cpp.o.d"
+  "fig04_gpu_putsignal"
+  "fig04_gpu_putsignal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_gpu_putsignal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

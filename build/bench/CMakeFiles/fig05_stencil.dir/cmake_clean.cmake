@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stencil.dir/fig05_stencil.cpp.o"
+  "CMakeFiles/fig05_stencil.dir/fig05_stencil.cpp.o.d"
+  "fig05_stencil"
+  "fig05_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

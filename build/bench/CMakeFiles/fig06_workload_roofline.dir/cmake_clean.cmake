@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_workload_roofline.dir/fig06_workload_roofline.cpp.o"
+  "CMakeFiles/fig06_workload_roofline.dir/fig06_workload_roofline.cpp.o.d"
+  "fig06_workload_roofline"
+  "fig06_workload_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_workload_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latency_msgsync.dir/fig07_latency_msgsync.cpp.o"
+  "CMakeFiles/fig07_latency_msgsync.dir/fig07_latency_msgsync.cpp.o.d"
+  "fig07_latency_msgsync"
+  "fig07_latency_msgsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency_msgsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sptrsv.dir/fig08_sptrsv.cpp.o"
+  "CMakeFiles/fig08_sptrsv.dir/fig08_sptrsv.cpp.o.d"
+  "fig08_sptrsv"
+  "fig08_sptrsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sptrsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

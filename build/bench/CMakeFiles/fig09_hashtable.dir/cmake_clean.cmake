@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_hashtable.dir/fig09_hashtable.cpp.o"
+  "CMakeFiles/fig09_hashtable.dir/fig09_hashtable.cpp.o.d"
+  "fig09_hashtable"
+  "fig09_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_split.dir/fig10_split.cpp.o"
+  "CMakeFiles/fig10_split.dir/fig10_split.cpp.o.d"
+  "fig10_split"
+  "fig10_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

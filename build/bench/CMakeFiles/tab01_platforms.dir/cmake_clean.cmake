@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_platforms.dir/tab01_platforms.cpp.o"
+  "CMakeFiles/tab01_platforms.dir/tab01_platforms.cpp.o.d"
+  "tab01_platforms"
+  "tab01_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

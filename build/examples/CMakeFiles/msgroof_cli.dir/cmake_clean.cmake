@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgroof_cli.dir/msgroof_cli.cpp.o"
+  "CMakeFiles/msgroof_cli.dir/msgroof_cli.cpp.o.d"
+  "msgroof_cli"
+  "msgroof_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgroof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sptrsv_demo.dir/sptrsv_demo.cpp.o"
+  "CMakeFiles/sptrsv_demo.dir/sptrsv_demo.cpp.o.d"
+  "sptrsv_demo"
+  "sptrsv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sptrsv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/algorithms.cpp" "src/CMakeFiles/msgroof.dir/coll/algorithms.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/coll/algorithms.cpp.o.d"
+  "/root/repo/src/core/fit.cpp" "src/CMakeFiles/msgroof.dir/core/fit.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/core/fit.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/CMakeFiles/msgroof.dir/core/model.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/core/model.cpp.o.d"
+  "/root/repo/src/core/plot.cpp" "src/CMakeFiles/msgroof.dir/core/plot.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/core/plot.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/msgroof.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/split.cpp" "src/CMakeFiles/msgroof.dir/core/split.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/core/split.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/msgroof.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/core/sweep.cpp.o.d"
+  "/root/repo/src/mpi/collective.cpp" "src/CMakeFiles/msgroof.dir/mpi/collective.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/mpi/collective.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/msgroof.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/CMakeFiles/msgroof.dir/mpi/p2p.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/mpi/p2p.cpp.o.d"
+  "/root/repo/src/mpi/win.cpp" "src/CMakeFiles/msgroof.dir/mpi/win.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/mpi/win.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/CMakeFiles/msgroof.dir/runtime/engine.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/runtime/engine.cpp.o.d"
+  "/root/repo/src/shmem/gpu.cpp" "src/CMakeFiles/msgroof.dir/shmem/gpu.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/shmem/gpu.cpp.o.d"
+  "/root/repo/src/shmem/shmem.cpp" "src/CMakeFiles/msgroof.dir/shmem/shmem.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/shmem/shmem.cpp.o.d"
+  "/root/repo/src/simnet/fabric.cpp" "src/CMakeFiles/msgroof.dir/simnet/fabric.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/fabric.cpp.o.d"
+  "/root/repo/src/simnet/link.cpp" "src/CMakeFiles/msgroof.dir/simnet/link.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/link.cpp.o.d"
+  "/root/repo/src/simnet/loggp.cpp" "src/CMakeFiles/msgroof.dir/simnet/loggp.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/loggp.cpp.o.d"
+  "/root/repo/src/simnet/platform.cpp" "src/CMakeFiles/msgroof.dir/simnet/platform.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/platform.cpp.o.d"
+  "/root/repo/src/simnet/topology.cpp" "src/CMakeFiles/msgroof.dir/simnet/topology.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/topology.cpp.o.d"
+  "/root/repo/src/simnet/trace.cpp" "src/CMakeFiles/msgroof.dir/simnet/trace.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/trace.cpp.o.d"
+  "/root/repo/src/simnet/trace_export.cpp" "src/CMakeFiles/msgroof.dir/simnet/trace_export.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/simnet/trace_export.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/msgroof.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/msgroof.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/msgroof.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/msgroof.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/msgroof.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/msgroof.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/util/units.cpp.o.d"
+  "/root/repo/src/workloads/hashtable/gpu.cpp" "src/CMakeFiles/msgroof.dir/workloads/hashtable/gpu.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/hashtable/gpu.cpp.o.d"
+  "/root/repo/src/workloads/hashtable/hashtable.cpp" "src/CMakeFiles/msgroof.dir/workloads/hashtable/hashtable.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/hashtable/hashtable.cpp.o.d"
+  "/root/repo/src/workloads/hashtable/one_sided.cpp" "src/CMakeFiles/msgroof.dir/workloads/hashtable/one_sided.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/hashtable/one_sided.cpp.o.d"
+  "/root/repo/src/workloads/hashtable/two_sided.cpp" "src/CMakeFiles/msgroof.dir/workloads/hashtable/two_sided.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/hashtable/two_sided.cpp.o.d"
+  "/root/repo/src/workloads/sptrsv/gpu.cpp" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/gpu.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/gpu.cpp.o.d"
+  "/root/repo/src/workloads/sptrsv/matrix.cpp" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/matrix.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/matrix.cpp.o.d"
+  "/root/repo/src/workloads/sptrsv/one_sided.cpp" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/one_sided.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/one_sided.cpp.o.d"
+  "/root/repo/src/workloads/sptrsv/partition.cpp" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/partition.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/partition.cpp.o.d"
+  "/root/repo/src/workloads/sptrsv/reference.cpp" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/reference.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/reference.cpp.o.d"
+  "/root/repo/src/workloads/sptrsv/two_sided.cpp" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/two_sided.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/sptrsv/two_sided.cpp.o.d"
+  "/root/repo/src/workloads/stencil/gpu.cpp" "src/CMakeFiles/msgroof.dir/workloads/stencil/gpu.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/stencil/gpu.cpp.o.d"
+  "/root/repo/src/workloads/stencil/host_staged.cpp" "src/CMakeFiles/msgroof.dir/workloads/stencil/host_staged.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/stencil/host_staged.cpp.o.d"
+  "/root/repo/src/workloads/stencil/one_sided.cpp" "src/CMakeFiles/msgroof.dir/workloads/stencil/one_sided.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/stencil/one_sided.cpp.o.d"
+  "/root/repo/src/workloads/stencil/stencil.cpp" "src/CMakeFiles/msgroof.dir/workloads/stencil/stencil.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/stencil/stencil.cpp.o.d"
+  "/root/repo/src/workloads/stencil/two_sided.cpp" "src/CMakeFiles/msgroof.dir/workloads/stencil/two_sided.cpp.o" "gcc" "src/CMakeFiles/msgroof.dir/workloads/stencil/two_sided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_coll.dir/coll_test.cpp.o"
+  "CMakeFiles/tests_coll.dir/coll_test.cpp.o.d"
+  "tests_coll"
+  "tests_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

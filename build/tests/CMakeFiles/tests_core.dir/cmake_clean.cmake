@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

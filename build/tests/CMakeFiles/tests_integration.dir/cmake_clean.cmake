@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration_test.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_mpi.dir/mpi_test.cpp.o"
+  "CMakeFiles/tests_mpi.dir/mpi_test.cpp.o.d"
+  "tests_mpi"
+  "tests_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_runtime.dir/runtime_test.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime_test.cpp.o.d"
+  "tests_runtime"
+  "tests_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_shmem.dir/shmem_test.cpp.o"
+  "CMakeFiles/tests_shmem.dir/shmem_test.cpp.o.d"
+  "tests_shmem"
+  "tests_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

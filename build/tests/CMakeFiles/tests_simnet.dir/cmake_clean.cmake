@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_simnet.dir/simnet_test.cpp.o"
+  "CMakeFiles/tests_simnet.dir/simnet_test.cpp.o.d"
+  "tests_simnet"
+  "tests_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

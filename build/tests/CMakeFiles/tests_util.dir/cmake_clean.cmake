@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/util_test.cpp.o"
+  "CMakeFiles/tests_util.dir/util_test.cpp.o.d"
+  "tests_util"
+  "tests_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workloads.dir/workloads_test.cpp.o"
+  "CMakeFiles/tests_workloads.dir/workloads_test.cpp.o.d"
+  "tests_workloads"
+  "tests_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

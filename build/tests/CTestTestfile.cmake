@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tests_util "/root/repo/build/tests/tests_util")
+set_tests_properties(tests_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_simnet "/root/repo/build/tests/tests_simnet")
+set_tests_properties(tests_simnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_runtime "/root/repo/build/tests/tests_runtime")
+set_tests_properties(tests_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_mpi "/root/repo/build/tests/tests_mpi")
+set_tests_properties(tests_mpi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_shmem "/root/repo/build/tests/tests_shmem")
+set_tests_properties(tests_shmem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_core "/root/repo/build/tests/tests_core")
+set_tests_properties(tests_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_workloads "/root/repo/build/tests/tests_workloads")
+set_tests_properties(tests_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_coll "/root/repo/build/tests/tests_coll")
+set_tests_properties(tests_coll PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_integration "/root/repo/build/tests/tests_integration")
+set_tests_properties(tests_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;msgroof_test;/root/repo/tests/CMakeLists.txt;0;")
