@@ -2,12 +2,16 @@
 //   1. cut-through vs store-and-forward link costing,
 //   2. link channel count (what creates the Fig 10 split win),
 //   3. Listing-1 poll cost (what stops one-sided SpTRSV scaling),
-//   4. put-with-signal (1 fused op) vs the 4-op one-sided MPI message.
+//   4. put-with-signal (1 fused op) vs the 4-op one-sided MPI message,
+//   5. engine scheduling fast paths: persistent rank-thread pool vs the
+//      legacy fresh-engine-per-grid-point execution.
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
 #include "core/split.hpp"
 #include "core/sweep.hpp"
+#include "runtime/engine.hpp"
 #include "simnet/platform.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -116,6 +120,49 @@ int main(int argc, char** argv) {
         t.render("ablation 4: hardware put-with-signal support "
                  "(the paper's 'intuitively inferred' win)")
             .c_str());
+  }
+
+  // 5. Engine scheduling fast paths. Sweeps execute thousands of tiny
+  //    independent simulations; the legacy path built a fresh engine (and
+  //    spawned nranks OS threads) for every grid point, while the current
+  //    run_sweep reuses one engine per worker. Time both over the same
+  //    many-point grid of trivial runs to isolate the dispatch overhead.
+  {
+    using clock = std::chrono::steady_clock;
+    const int points = args.full ? 2000 : 500;
+    const int nranks = 8;
+    const auto plat = simnet::Platform::perlmutter_cpu();
+    const auto body = [](runtime::Rank& r) { r.advance(1.0); };
+
+    const auto t0 = clock::now();
+    for (int i = 0; i < points; ++i) {
+      runtime::Engine eng(plat, nranks);  // legacy: fresh threads per point
+      const auto res = eng.run(body);
+      MRL_CHECK(res.ok());
+    }
+    const auto t1 = clock::now();
+    runtime::Engine eng(plat, nranks);  // current: persistent thread pool
+    for (int i = 0; i < points; ++i) {
+      const auto res = eng.run(body);
+      MRL_CHECK(res.ok());
+    }
+    const auto t2 = clock::now();
+
+    const double fresh_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double reuse_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    TextTable t({"execution mode", "wall-clock", "per point"});
+    t.add_row({"fresh engine per point (legacy)",
+               format_double(fresh_ms, 1) + " ms",
+               format_time_us(1000.0 * fresh_ms / points)});
+    t.add_row({"persistent engine reuse (run_sweep)",
+               format_double(reuse_ms, 1) + " ms",
+               format_time_us(1000.0 * reuse_ms / points)});
+    std::printf("%s", t.render("ablation 5: engine scheduling fast paths "
+                               "(" + std::to_string(points) + " points x " +
+                               std::to_string(nranks) + " ranks)")
+                          .c_str());
+    std::printf("  -> reuse speedup: %.2fx\n\n",
+                reuse_ms > 0 ? fresh_ms / reuse_ms : 0.0);
   }
   return 0;
 }

@@ -7,27 +7,71 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "util/csv.hpp"
 
 namespace mrl::bench {
 
 struct Args {
   bool full = false;  ///< paper-scale problem sizes (slower)
+  int jobs = 0;       ///< concurrent grid points; 0 = hardware concurrency
 
+  static void usage(const char* prog, std::FILE* out) {
+    std::fprintf(out, "usage: %s [--full] [--jobs N]\n", prog);
+    std::fprintf(out,
+                 "  --full     paper-scale problem sizes (slower)\n"
+                 "  --jobs N   run up to N independent grid points "
+                 "concurrently (N >= 1;\n"
+                 "             default: hardware concurrency; 1 = "
+                 "sequential; output is\n"
+                 "             bit-identical for every N)\n");
+  }
+
+  /// Parses the shared bench flags; unrecognized arguments are an error.
   static Args parse(int argc, char** argv) {
     Args a;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) a.full = true;
-      if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("usage: %s [--full]\n", argv[0]);
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--full") == 0) {
+        a.full = true;
+      } else if (std::strcmp(arg, "--help") == 0 ||
+                 std::strcmp(arg, "-h") == 0) {
+        usage(argv[0], stdout);
         std::exit(0);
+      } else if (std::strcmp(arg, "--jobs") == 0 ||
+                 std::strncmp(arg, "--jobs=", 7) == 0) {
+        const char* val = nullptr;
+        if (arg[6] == '=') {
+          val = arg + 7;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --jobs requires a value\n", argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        char* end = nullptr;
+        const long n = std::strtol(val, &end, 10);
+        if (end == val || *end != '\0' || n < 1) {
+          std::fprintf(stderr, "%s: invalid --jobs value '%s' (need N >= 1)\n",
+                       argv[0], val);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        a.jobs = static_cast<int>(n);
+      } else {
+        std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], arg);
+        usage(argv[0], stderr);
+        std::exit(2);
       }
     }
+    if (a.jobs >= 1) core::set_default_jobs(a.jobs);
     return a;
   }
 };

@@ -3,10 +3,12 @@
 // simulated Perlmutter nodes put the Slingshot NIC (25 GB/s PCIe4) on the
 // path: the roofline ceiling drops from 32 to 25 GB/s and the latency lines
 // shift up by the extra hops.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
 #include "core/fit.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "simnet/platform.hpp"
@@ -28,13 +30,23 @@ int main(int argc, char** argv) {
       core::SweepConfig::defaults(core::SweepKind::kOneSidedMpi);
   if (!args.full) base.iters = 4;
 
-  const auto pts_on = core::run_sweep(one_node, base);
-
   core::SweepConfig cross = base;
   cross.nranks = two_node.max_ranks();
   cross.sender = 0;
   cross.receiver = cross.nranks - 1;  // lands on the second node
-  const auto pts_cross = core::run_sweep(two_node, cross);
+
+  // Both path sweeps run concurrently into pre-assigned slots.
+  const int jobs = core::resolve_jobs(args.jobs);
+  base.jobs = std::max(1, jobs / 2);
+  cross.jobs = std::max(1, jobs / 2);
+  std::vector<core::SweepPoint> pts_on, pts_cross;
+  core::parallel_for_indexed(2, jobs, [&](int, std::size_t i) {
+    if (i == 0) {
+      pts_on = core::run_sweep(one_node, base);
+    } else {
+      pts_cross = core::run_sweep(two_node, cross);
+    }
+  });
 
   const auto fit_on = core::fit_roofline(pts_on);
   const auto fit_cross = core::fit_roofline(pts_cross);

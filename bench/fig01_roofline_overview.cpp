@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   core::SweepConfig cfg = core::SweepConfig::defaults(
       core::SweepKind::kOneSidedMpi);
   if (!args.full) cfg.iters = 4;
+  cfg.jobs = args.jobs;  // <= 0 resolves to hardware concurrency
   const auto points = core::run_sweep(plat, cfg);
 
   // Fit the rounded model from the empirical data — "the diagonal ceilings

@@ -5,10 +5,12 @@
 //   (a,b) Perlmutter/Frontier: one-sided achieves higher bandwidth and lower
 //         latency than two-sided as msg/sync grows; achieved BW ~ IF peak.
 //   (c)   Summit Spectrum MPI: one-sided is consistently SLOWER.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
 #include "core/fit.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "simnet/platform.hpp"
@@ -30,18 +32,30 @@ int main(int argc, char** argv) {
   csv.push_back({"platform", "kind", "bytes", "msgs_per_sync", "gbs",
                  "eff_latency_us"});
 
+  // All six (platform x kind) sweeps run concurrently, each into its
+  // pre-assigned slot; rendering below consumes them in the fixed paper
+  // order, so the output is identical at any --jobs.
+  core::SweepConfig grid[3][2];
+  std::vector<core::SweepPoint> results[3][2];
+  const int jobs = core::resolve_jobs(args.jobs);
+  for (int pi = 0; pi < 3; ++pi) {
+    grid[pi][0] = core::SweepConfig::defaults(core::SweepKind::kTwoSided);
+    grid[pi][1] = core::SweepConfig::defaults(core::SweepKind::kOneSidedMpi);
+    for (auto& cfg : grid[pi]) {
+      if (!args.full) cfg.iters = 4;
+      cfg.jobs = std::max(1, jobs / 6);  // split the budget across sweeps
+    }
+  }
+  core::parallel_for_indexed(6, jobs, [&](int, std::size_t i) {
+    const auto pi = i / 2, ki = i % 2;
+    results[pi][ki] = core::run_sweep(plats[pi], grid[pi][ki]);
+  });
+
   for (int pi = 0; pi < 3; ++pi) {
     const simnet::Platform& plat = plats[pi];
-    core::SweepConfig two = core::SweepConfig::defaults(
-        core::SweepKind::kTwoSided);
-    core::SweepConfig one = core::SweepConfig::defaults(
-        core::SweepKind::kOneSidedMpi);
-    if (!args.full) {
-      two.iters = 4;
-      one.iters = 4;
-    }
-    const auto pts2 = core::run_sweep(plat, two);
-    const auto pts1 = core::run_sweep(plat, one);
+    const core::SweepConfig& two = grid[pi][0];
+    const auto& pts2 = results[pi][0];
+    const auto& pts1 = results[pi][1];
     const auto fit1 = core::fit_roofline(pts1);
 
     core::RooflineFigure fig(

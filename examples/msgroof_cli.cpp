@@ -38,7 +38,7 @@ using namespace mrl;
       stderr,
       "usage: msgroof_cli <command> [...]\n"
       "  platforms\n"
-      "  sweep <platform> <runtime> [--csv out.csv]\n"
+      "  sweep <platform> <runtime> [--csv out.csv] [--jobs N]\n"
       "  stencil <platform> <ranks> [n] [iters]\n"
       "  sptrsv <platform> <ranks> [n]\n"
       "  hashtable <platform> <ranks> [inserts]\n"
@@ -89,11 +89,20 @@ int cmd_sweep(int argc, char** argv) {
   const simnet::Platform plat = pick_platform(argv[2]);
   const core::SweepKind kind = pick_kind(argv[3]);
   std::string csv_path;
+  int jobs = 0;  // 0 = hardware concurrency; results identical at any value
   for (int i = 4; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(argv[i + 1]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs needs N >= 1\n");
+        usage();
+      }
+    }
   }
   core::SweepConfig cfg = core::SweepConfig::defaults(kind);
   cfg.iters = 4;
+  cfg.jobs = jobs;
   const auto pts = core::run_sweep(plat, cfg);
   const auto fit = core::fit_roofline(pts);
 

@@ -1,0 +1,42 @@
+// Deterministic task pool for embarrassingly parallel sweep/bench work.
+//
+// Every figure and calibration in this repo is assembled from hundreds of
+// *independent* engine runs (one per grid point). parallel_for_indexed()
+// runs those points concurrently while keeping the output bit-identical to
+// the sequential order: each index owns a pre-assigned output slot, so the
+// result layout never depends on completion order, and each point's engine
+// is fully isolated (own fabric, own virtual clocks). `jobs == 1` takes an
+// exact sequential fast path on the calling thread — no pool, no atomics —
+// which doubles as the reference behavior for determinism tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mrl::core {
+
+/// Process-wide default for the `jobs` knob. Starts at
+/// std::thread::hardware_concurrency(); bench binaries override it from
+/// `--jobs N`. Always >= 1.
+int default_jobs();
+
+/// Sets the process-wide default; values < 1 reset to hardware concurrency.
+void set_default_jobs(int jobs);
+
+/// Resolves a per-call jobs request: <= 0 means "use default_jobs()".
+int resolve_jobs(int jobs);
+
+/// Runs fn(worker, index) for every index in [0, n), distributing indices
+/// dynamically over min(jobs, n) workers. `worker` is a dense id in
+/// [0, jobs) that is stable for the lifetime of one call — callers use it
+/// to reuse per-worker scratch state (e.g. one runtime::Engine per worker)
+/// across many indices. The first exception thrown by any fn invocation is
+/// captured, remaining indices are abandoned as workers drain, and the
+/// exception is rethrown on the calling thread after all workers joined.
+/// jobs <= 0 resolves via resolve_jobs(); jobs == 1 (or n <= 1) runs inline
+/// on the calling thread with worker == 0 — the exact legacy sequential
+/// path.
+void parallel_for_indexed(std::size_t n, int jobs,
+                          const std::function<void(int, std::size_t)>& fn);
+
+}  // namespace mrl::core

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include <memory>
+
 #include "core/fit.hpp"
+#include "core/parallel.hpp"
 #include "mpi/comm.hpp"
+#include "runtime/engine.hpp"
 #include "mpi/win.hpp"
 #include "shmem/shmem.hpp"
 #include "util/status.hpp"
@@ -33,11 +37,12 @@ SweepConfig SweepConfig::defaults(SweepKind kind) {
 namespace {
 
 /// One grid point: returns sender-side elapsed virtual microseconds.
+/// Point runners borrow a caller-owned engine — workers reuse one engine
+/// (and its persistent rank threads) across all the grid points they draw.
 constexpr std::uint64_t kSlots = 8;  // buffer slots reused modulo the window
 
-double run_two_sided_point(const simnet::Platform& plat, const SweepConfig& cfg,
+double run_two_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
                            std::uint64_t bytes, std::uint64_t m, int iters) {
-  runtime::Engine eng(plat, cfg.nranks);
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
   const auto res = mpi::World::run(eng, [&](mpi::Comm& c) {
@@ -76,9 +81,8 @@ double run_two_sided_point(const simnet::Platform& plat, const SweepConfig& cfg,
   return elapsed;
 }
 
-double run_one_sided_point(const simnet::Platform& plat, const SweepConfig& cfg,
+double run_one_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
                            std::uint64_t bytes, std::uint64_t m, int iters) {
-  runtime::Engine eng(plat, cfg.nranks);
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
   const auto res = mpi::World::run(eng, [&](mpi::Comm& c) {
@@ -104,9 +108,8 @@ double run_one_sided_point(const simnet::Platform& plat, const SweepConfig& cfg,
   return elapsed;
 }
 
-double run_shmem_point(const simnet::Platform& plat, const SweepConfig& cfg,
+double run_shmem_point(runtime::Engine& eng, const SweepConfig& cfg,
                        std::uint64_t bytes, std::uint64_t m, int iters) {
-  runtime::Engine eng(plat, cfg.nranks);
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
   shmem::World::Options opt;
@@ -138,9 +141,8 @@ double run_shmem_point(const simnet::Platform& plat, const SweepConfig& cfg,
   return elapsed;
 }
 
-double run_cas_point(const simnet::Platform& plat, const SweepConfig& cfg,
+double run_cas_point(runtime::Engine& eng, const SweepConfig& cfg,
                      std::uint64_t /*bytes*/, std::uint64_t m, int iters) {
-  runtime::Engine eng(plat, cfg.nranks);
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
   const auto res = shmem::World::run(eng, [&](shmem::Ctx& s) {
@@ -167,7 +169,17 @@ std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
                                   const SweepConfig& cfg) {
   MRL_CHECK(cfg.iters >= 1 && cfg.nranks >= 2);
   MRL_CHECK(cfg.sender != cfg.receiver);
-  std::vector<SweepPoint> out;
+
+  // Flatten the grid so every point has a pre-assigned output slot: the
+  // result vector layout is fixed up front, making the output independent
+  // of the order grid points happen to finish in.
+  struct Cell {
+    std::uint64_t bytes = 0;
+    std::uint64_t m = 0;
+    int iters = 0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(cfg.msg_sizes.size() * cfg.msgs_per_sync.size());
   for (std::uint64_t bytes : cfg.msg_sizes) {
     for (std::uint64_t m : cfg.msgs_per_sync) {
       // Keep the total op count per grid point bounded: big windows need few
@@ -175,32 +187,51 @@ std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
       const int iters = static_cast<int>(std::clamp<std::uint64_t>(
           20000 / std::max<std::uint64_t>(1, m), 2,
           std::max<std::uint64_t>(2, static_cast<std::uint64_t>(cfg.iters))));
-      double elapsed = 0;
-      switch (cfg.kind) {
-        case SweepKind::kTwoSided:
-          elapsed = run_two_sided_point(platform, cfg, bytes, m, iters);
-          break;
-        case SweepKind::kOneSidedMpi:
-          elapsed = run_one_sided_point(platform, cfg, bytes, m, iters);
-          break;
-        case SweepKind::kShmemPutSignal:
-          elapsed = run_shmem_point(platform, cfg, bytes, m, iters);
-          break;
-        case SweepKind::kAtomicCas:
-          elapsed = run_cas_point(platform, cfg, bytes, m, iters);
-          break;
-      }
-      const double total_bytes =
-          static_cast<double>(bytes) * static_cast<double>(m) * iters;
-      SweepPoint pt;
-      pt.bytes = static_cast<double>(bytes);
-      pt.msgs_per_sync = static_cast<double>(m);
-      pt.measured_gbs = bytes_per_us_to_gbs(total_bytes, elapsed);
-      pt.eff_latency_us =
-          elapsed / (static_cast<double>(m) * static_cast<double>(iters));
-      out.push_back(pt);
+      cells.push_back(Cell{bytes, m, iters});
     }
   }
+
+  const int jobs = resolve_jobs(cfg.jobs);
+  std::vector<SweepPoint> out(cells.size());
+  // One engine (and persistent rank-thread pool) per worker, reused across
+  // every grid point that worker draws. Each point is a fully isolated
+  // simulation (fabric/clock/trace reset per run), so reuse is
+  // bit-equivalent to a fresh engine per point.
+  std::vector<std::unique_ptr<runtime::Engine>> engines(
+      static_cast<std::size_t>(jobs));
+  parallel_for_indexed(cells.size(), jobs, [&](int worker, std::size_t i) {
+    auto& eng = engines[static_cast<std::size_t>(worker)];
+    if (!eng) {
+      eng = std::make_unique<runtime::Engine>(platform, cfg.nranks);
+    }
+    const Cell& cell = cells[i];
+    double elapsed = 0;
+    switch (cfg.kind) {
+      case SweepKind::kTwoSided:
+        elapsed = run_two_sided_point(*eng, cfg, cell.bytes, cell.m,
+                                      cell.iters);
+        break;
+      case SweepKind::kOneSidedMpi:
+        elapsed = run_one_sided_point(*eng, cfg, cell.bytes, cell.m,
+                                      cell.iters);
+        break;
+      case SweepKind::kShmemPutSignal:
+        elapsed = run_shmem_point(*eng, cfg, cell.bytes, cell.m, cell.iters);
+        break;
+      case SweepKind::kAtomicCas:
+        elapsed = run_cas_point(*eng, cfg, cell.bytes, cell.m, cell.iters);
+        break;
+    }
+    const double total_bytes = static_cast<double>(cell.bytes) *
+                               static_cast<double>(cell.m) * cell.iters;
+    SweepPoint pt;
+    pt.bytes = static_cast<double>(cell.bytes);
+    pt.msgs_per_sync = static_cast<double>(cell.m);
+    pt.measured_gbs = bytes_per_us_to_gbs(total_bytes, elapsed);
+    pt.eff_latency_us = elapsed / (static_cast<double>(cell.m) *
+                                   static_cast<double>(cell.iters));
+    out[i] = pt;
+  });
   return out;
 }
 
@@ -227,9 +258,10 @@ double measure_cas_latency_us(const simnet::Platform& platform, int nranks,
 }
 
 RooflineParams calibrate_roofline(const simnet::Platform& platform,
-                                  SweepKind kind) {
+                                  SweepKind kind, int jobs) {
   SweepConfig cfg = SweepConfig::defaults(kind);
   cfg.iters = 4;
+  cfg.jobs = jobs;
   const std::vector<SweepPoint> pts = run_sweep(platform, cfg);
   return fit_roofline(pts).params;
 }

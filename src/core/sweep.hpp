@@ -37,12 +37,19 @@ struct SweepConfig {
   int nranks = 2;
   int sender = 0;
   int receiver = 1;
+  /// Concurrent grid points (each on its own engine). <= 0 uses
+  /// core::default_jobs(); 1 is the exact sequential legacy path. Results
+  /// are bit-identical for every value — grid points are isolated
+  /// simulations written to pre-assigned output slots.
+  int jobs = 0;
 
   /// Default grid: sizes 8 B .. 4 MiB (x4), msg/sync 1 .. 1e4 (x10).
   static SweepConfig defaults(SweepKind kind);
 };
 
-/// Runs the sweep on `platform`; one engine run per grid point.
+/// Runs the sweep on `platform`; one engine run per grid point. Grid points
+/// execute `cfg.jobs`-wide in parallel; output order matches the
+/// (msg_sizes x msgs_per_sync) iteration order regardless of jobs.
 std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
                                   const SweepConfig& cfg);
 
@@ -51,8 +58,9 @@ std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
 double measure_cas_latency_us(const simnet::Platform& platform, int nranks,
                               int origin, int target, int reps = 64);
 
-/// Fits roofline parameters from a fresh sweep on the platform.
+/// Fits roofline parameters from a fresh sweep on the platform. `jobs`
+/// forwards to SweepConfig::jobs (<= 0 = core::default_jobs()).
 RooflineParams calibrate_roofline(const simnet::Platform& platform,
-                                  SweepKind kind);
+                                  SweepKind kind, int jobs = 0);
 
 }  // namespace mrl::core

@@ -14,42 +14,63 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
                 "more ranks than the platform can host");
   fabric_ = platform_.make_fabric();
   trace_.set_enabled(opt_.trace);
+  ranks_.reserve(static_cast<std::size_t>(nranks_));
+  for (int i = 0; i < nranks_; ++i) {
+    std::unique_ptr<Rank> r(new Rank());  // ctor is Engine-private
+    r->engine_ = this;
+    r->id_ = i;
+    r->size_ = nranks_;
+    r->endpoint_ = platform_.endpoint_of_rank(i, nranks_);
+    ranks_.push_back(std::move(r));
+  }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  {
+    std::lock_guard lk(mu_);
+    shutdown_ = true;
+    for (auto& r : ranks_) r->cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
 
 RunResult Engine::run(const std::function<void(Rank&)>& body) {
-  {
-    std::lock_guard lk(mu_);
-    if (opt_.reset_fabric_each_run) fabric_->reset();
-    ranks_.clear();
-    for (int i = 0; i < nranks_; ++i) {
-      std::unique_ptr<Rank> r(new Rank());  // ctor is Engine-private
-      r->engine_ = this;
-      r->id_ = i;
-      r->size_ = nranks_;
-      r->endpoint_ = platform_.endpoint_of_rank(i, nranks_);
-      r->state_ = Rank::State::kReady;
-      r->wake_ = 0;
-      ranks_.push_back(std::move(r));
-    }
-    granted_ = -1;
-    done_count_ = 0;
-    abort_ = false;
-    abort_reason_.clear();
-    body_error_.clear();
+  std::unique_lock lk(mu_);
+  MRL_CHECK_MSG(body_ == nullptr, "Engine::run is not reentrant");
+  if (opt_.reset_fabric_each_run) fabric_->reset();
+  trace_.clear();
+  ready_.clear();
+  ready_.reserve(static_cast<std::size_t>(nranks_));
+  for (auto& r : ranks_) {
+    r->clock_ = 0;
+    r->epoch_ = 0;
+    r->state_ = Rank::State::kReady;
+    r->wake_ = 0;
+    r->cond_ = nullptr;
+    r->what_ = "";
+    ready_.push_back(r->id_);
   }
+  blocked_count_ = 0;
+  granted_ = -1;
+  done_count_ = 0;
+  abort_ = false;
+  abort_reason_.clear();
+  body_error_.clear();
+  body_ = &body;
+  ++run_gen_;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks_));
-  for (int i = 0; i < nranks_; ++i) {
-    threads.emplace_back([this, i, &body] { rank_main(i, body); });
+  if (threads_.empty()) {
+    // Lazy persistent pool: spawned once, parked between runs.
+    threads_.reserve(static_cast<std::size_t>(nranks_));
+    for (int i = 0; i < nranks_; ++i) {
+      threads_.emplace_back([this, i] { worker_main(i); });
+    }
+  } else {
+    for (auto& r : ranks_) r->cv_.notify_one();  // new generation
   }
-  {
-    std::lock_guard lk(mu_);
-    schedule_locked();  // grant the first baton
-  }
-  for (auto& t : threads) t.join();
+  schedule_locked();  // grant the first baton
+  while (done_count_ != nranks_) run_cv_.wait(lk);
+  body_ = nullptr;
 
   RunResult res;
   res.rank_end_us.reserve(static_cast<std::size_t>(nranks_));
@@ -65,21 +86,35 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   return res;
 }
 
-void Engine::rank_main(int id, const std::function<void(Rank&)>& body) {
+void Engine::worker_main(int id) {
+  Rank& r = *ranks_[static_cast<std::size_t>(id)];
+  std::uint64_t seen_gen = 0;
+  std::unique_lock lk(mu_);
+  for (;;) {
+    while (!shutdown_ && run_gen_ == seen_gen) r.cv_.wait(lk);
+    if (shutdown_) return;
+    seen_gen = run_gen_;
+    lk.unlock();
+    rank_main(id);
+    lk.lock();
+  }
+}
+
+void Engine::rank_main(int id) {
   Rank& r = *ranks_[static_cast<std::size_t>(id)];
   {
     std::unique_lock lk(mu_);
     while (granted_ != id && !abort_) r.cv_.wait(lk);
     if (abort_) {
-      r.state_ = Rank::State::kDone;
+      set_state_locked(r, Rank::State::kDone);
       ++done_count_;
       if (done_count_ == nranks_) run_cv_.notify_all();
       return;
     }
-    r.state_ = Rank::State::kRunning;
+    set_state_locked(r, Rank::State::kRunning);
   }
   try {
-    body(r);
+    (*body_)(r);
   } catch (const AbortException&) {
     // Engine-initiated unwind (deadlock elsewhere); nothing to record.
   } catch (const std::exception& e) {
@@ -100,7 +135,7 @@ void Engine::rank_main(int id, const std::function<void(Rank&)>& body) {
   }
   {
     std::lock_guard lk(mu_);
-    r.state_ = Rank::State::kDone;
+    set_state_locked(r, Rank::State::kDone);
     ++done_count_;
     if (abort_) {
       for (auto& other : ranks_) other->cv_.notify_all();
@@ -117,21 +152,46 @@ void Engine::check_abort_locked(const Rank&) const {
   if (abort_) throw AbortException{};
 }
 
+void Engine::set_state_locked(Rank& r, Rank::State s) {
+  if (r.state_ == s) return;
+  if (r.state_ == Rank::State::kReady) {
+    const auto it = std::find(ready_.begin(), ready_.end(), r.id_);
+    MRL_CHECK(it != ready_.end());
+    *it = ready_.back();
+    ready_.pop_back();
+  } else if (r.state_ == Rank::State::kBlocked) {
+    --blocked_count_;
+  }
+  r.state_ = s;
+  if (s == Rank::State::kReady) {
+    ready_.push_back(r.id_);
+  } else if (s == Rank::State::kBlocked) {
+    ++blocked_count_;
+  }
+}
+
 void Engine::schedule_locked() {
   if (abort_) {
     for (auto& r : ranks_) r->cv_.notify_all();
     return;
   }
+  // Min (wake, id) over the incrementally maintained ready list — for the
+  // dominant 2-rank sweeps this inspects one or two entries, never all
+  // ranks. Ties break toward the lowest rank id (deterministic order).
   int best = -1;
-  for (const auto& r : ranks_) {
-    if (r->state_ != Rank::State::kReady) continue;
-    if (best == -1 || r->wake_ < ranks_[static_cast<std::size_t>(best)]->wake_) {
-      best = r->id_;
+  simnet::TimeUs best_wake = 0;
+  for (const int id : ready_) {
+    const Rank& r = *ranks_[static_cast<std::size_t>(id)];
+    if (best == -1 || r.wake_ < best_wake ||
+        (r.wake_ == best_wake && id < best)) {
+      best = id;
+      best_wake = r.wake_;
     }
   }
   if (best != -1) {
     granted_ = best;
-    ranks_[static_cast<std::size_t>(best)]->cv_.notify_all();
+    // Targeted handoff: only the granted rank's thread is woken.
+    ranks_[static_cast<std::size_t>(best)]->cv_.notify_one();
     return;
   }
   // No runnable rank. If anyone is still blocked, that's a deadlock.
@@ -152,13 +212,19 @@ void Engine::schedule_locked() {
 }
 
 void Engine::wake_satisfied_locked() {
+  // Re-queue satisfiable waiters without waking their threads: the wake hint
+  // becomes their scheduling priority, and schedule_locked() signals them
+  // if and when they are actually granted the baton.
+  if (blocked_count_ == 0) return;
+  int remaining = blocked_count_;
   for (auto& r : ranks_) {
+    if (remaining == 0) break;
     if (r->state_ != Rank::State::kBlocked) continue;
+    --remaining;
     MRL_CHECK(r->cond_ != nullptr);
     if (auto w = (*r->cond_)()) {
-      r->state_ = Rank::State::kReady;
       r->wake_ = std::max(r->clock_, *w);
-      r->cv_.notify_all();
+      set_state_locked(*r, Rank::State::kReady);
     }
   }
 }
@@ -166,14 +232,14 @@ void Engine::wake_satisfied_locked() {
 void Engine::perform(Rank& r, const std::function<void()>& fn) {
   std::unique_lock lk(mu_);
   check_abort_locked(r);
-  r.state_ = Rank::State::kReady;
   r.wake_ = r.clock_;
+  set_state_locked(r, Rank::State::kReady);
   schedule_locked();
   while (granted_ != r.id_ && !abort_) {
     r.cv_.wait(lk);
   }
   check_abort_locked(r);
-  r.state_ = Rank::State::kRunning;
+  set_state_locked(r, Rank::State::kRunning);
   fn();
   wake_satisfied_locked();
 }
@@ -192,14 +258,14 @@ void Engine::wait(Rank& r, const char* what,
     if (auto w = cond()) {
       // Satisfiable: schedule at the wake time, re-evaluate once granted so
       // an earlier-arriving candidate delivered meanwhile wins.
-      r.state_ = Rank::State::kReady;
       r.wake_ = std::max(r.clock_, *w);
+      set_state_locked(r, Rank::State::kReady);
       if (holding) schedule_locked();
       while (granted_ != r.id_ && !abort_) {
         r.cv_.wait(lk);
       }
       check_abort_locked(r);
-      r.state_ = Rank::State::kRunning;
+      set_state_locked(r, Rank::State::kRunning);
       auto w2 = cond();
       MRL_CHECK_MSG(w2.has_value(),
                     "wait condition became unsatisfiable (must be monotonic)");
@@ -210,9 +276,9 @@ void Engine::wait(Rank& r, const char* what,
       }
       return;
     }
-    r.state_ = Rank::State::kBlocked;
     r.cond_ = &cond;
     r.what_ = what;
+    set_state_locked(r, Rank::State::kBlocked);
     if (holding) {
       // May detect a deadlock and set abort_ synchronously.
       schedule_locked();
@@ -223,8 +289,8 @@ void Engine::wait(Rank& r, const char* what,
     }
     check_abort_locked(r);
     r.cond_ = nullptr;
-    // Woken as kReady with a wake hint; loop re-evaluates cond and goes
-    // through the satisfiable path (acquiring the baton properly).
+    // Re-queued as kReady with a wake hint (and possibly already granted);
+    // the loop re-evaluates cond and goes through the satisfiable path.
   }
 }
 

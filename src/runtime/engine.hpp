@@ -12,6 +12,17 @@
 // condition closure that returns the wake-up virtual time once satisfiable.
 // If every live rank is blocked, the engine reports a deadlock instead of
 // hanging — with each rank's self-described wait reason.
+//
+// Scheduling hot paths (sweeps call run() thousands of times):
+//   * rank threads are spawned once, on the first run(), and parked between
+//     runs — repeated run() calls reuse the pool instead of re-spawning
+//     nranks OS threads per grid point;
+//   * baton handoff is targeted: only the granted rank's condition variable
+//     is signaled (a rank whose wait condition becomes satisfiable is
+//     re-queued but its thread stays asleep until actually granted);
+//   * the scheduler selects the min-clock rank from an incrementally
+//     maintained ready list instead of rescanning all ranks, and blocked
+//     -condition re-evaluation is skipped entirely while no rank is blocked.
 #pragma once
 
 #include <condition_variable>
@@ -104,8 +115,9 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Runs `body` on every rank to completion (or deadlock/exception).
-  /// May be called repeatedly; fabric contention state resets between runs
-  /// unless EngineOptions says otherwise.
+  /// May be called repeatedly; rank clocks, epochs, and the trace reset at
+  /// each call, and fabric contention state resets too unless EngineOptions
+  /// says otherwise. Rank threads persist across calls.
   RunResult run(const std::function<void(Rank&)>& body);
 
   [[nodiscard]] const simnet::Platform& platform() const { return platform_; }
@@ -134,10 +146,12 @@ class Engine {
  private:
   struct AbortException {};
 
-  void rank_main(int id, const std::function<void(Rank&)>& body);
+  void worker_main(int id);
+  void rank_main(int id);
   void schedule_locked();
   void wake_satisfied_locked();
   void check_abort_locked(const Rank& r) const;
+  void set_state_locked(Rank& r, Rank::State s);
 
   simnet::Platform platform_;
   int nranks_;
@@ -146,7 +160,18 @@ class Engine {
   simnet::Trace trace_;
 
   std::mutex mu_;
-  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<std::unique_ptr<Rank>> ranks_;  // created once, reset per run
+
+  // Persistent worker pool (lazily spawned by the first run()).
+  std::vector<std::thread> threads_;
+  const std::function<void(Rank&)>* body_ = nullptr;
+  std::uint64_t run_gen_ = 0;  ///< bumped per run(); workers key off it
+  bool shutdown_ = false;
+
+  // Scheduler state, reset per run. ready_ holds exactly the ids whose
+  // state is kReady; blocked_count_ counts kBlocked ranks.
+  std::vector<int> ready_;
+  int blocked_count_ = 0;
   int granted_ = -1;
   int done_count_ = 0;
   bool abort_ = false;

@@ -1,10 +1,18 @@
-// core: Message Roofline model identities, parameter fitting, sweeps, splits.
+// core: Message Roofline model identities, parameter fitting, sweeps, splits,
+// and the parallel sweep runner's determinism guarantees.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "core/fit.hpp"
 #include "core/model.hpp"
+#include "core/parallel.hpp"
 #include "core/plot.hpp"
 #include "core/report.hpp"
 #include "core/split.hpp"
@@ -176,6 +184,151 @@ TEST(Sweep, CasLatencyProbeMatchesShmemCalibration) {
   EXPECT_NEAR(
       measure_cas_latency_us(simnet::Platform::perlmutter_gpu(), 2, 1, 0),
       0.8, 0.1);
+}
+
+TEST(Parallel, ForIndexedCoversEveryIndexOnce) {
+  for (int jobs : {1, 3, 8}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h.store(0);
+    parallel_for_indexed(hits.size(), jobs, [&](int worker, std::size_t i) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, jobs);
+      hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(Parallel, SequentialPathRunsInOrderOnCallerThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for_indexed(5, 1, [&](int worker, std::size_t i) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, PropagatesFirstException) {
+  for (int jobs : {1, 4}) {
+    EXPECT_THROW(
+        parallel_for_indexed(50, jobs,
+                             [&](int, std::size_t i) {
+                               if (i == 7) throw std::runtime_error("kaboom");
+                             }),
+        std::runtime_error)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(Parallel, ResolveJobsHonorsOverride) {
+  const int saved = default_jobs();
+  set_default_jobs(3);
+  EXPECT_EQ(resolve_jobs(0), 3);
+  EXPECT_EQ(resolve_jobs(-2), 3);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  set_default_jobs(0);  // back to hardware concurrency
+  EXPECT_GE(default_jobs(), 1);
+  set_default_jobs(saved);
+}
+
+// The tentpole determinism guarantee: a parallel sweep is byte-identical to
+// the sequential legacy path — grid points are isolated simulations written
+// to pre-assigned slots, so completion order cannot leak into the results.
+TEST(Parallel, SweepJobs4BitIdenticalToJobs1) {
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kOneSidedMpi;
+  cfg.msg_sizes = {64, 4096, 262144};
+  cfg.msgs_per_sync = {1, 10, 100};
+  cfg.iters = 3;
+  const auto plat = simnet::Platform::perlmutter_cpu();
+
+  cfg.jobs = 1;
+  const auto seq = run_sweep(plat, cfg);
+  cfg.jobs = 4;
+  const auto par = run_sweep(plat, cfg);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    // Bit-level equality, not EXPECT_DOUBLE_EQ: the parallel runner must
+    // reproduce the exact same virtual-time arithmetic per point.
+    EXPECT_EQ(seq[i].bytes, par[i].bytes) << i;
+    EXPECT_EQ(seq[i].msgs_per_sync, par[i].msgs_per_sync) << i;
+    EXPECT_EQ(seq[i].measured_gbs, par[i].measured_gbs) << i;
+    EXPECT_EQ(seq[i].eff_latency_us, par[i].eff_latency_us) << i;
+  }
+}
+
+TEST(Parallel, SweepParityAcrossKindsAndJobCounts) {
+  const auto plat = simnet::Platform::perlmutter_gpu();
+  for (SweepKind kind : {SweepKind::kTwoSided, SweepKind::kShmemPutSignal,
+                         SweepKind::kAtomicCas}) {
+    SweepConfig cfg;
+    cfg.kind = kind;
+    cfg.msg_sizes = {8, 65536};
+    cfg.msgs_per_sync = {1, 100};
+    cfg.iters = 2;
+    cfg.jobs = 1;
+    const auto seq = run_sweep(plat, cfg);
+    for (int jobs : {2, 7}) {
+      cfg.jobs = jobs;
+      const auto par = run_sweep(plat, cfg);
+      ASSERT_EQ(seq.size(), par.size());
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].measured_gbs, par[i].measured_gbs)
+            << to_string(kind) << " jobs=" << jobs << " i=" << i;
+        EXPECT_EQ(seq[i].eff_latency_us, par[i].eff_latency_us)
+            << to_string(kind) << " jobs=" << jobs << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Parallel, CalibrateRooflineJobs4IdenticalToJobs1) {
+  const auto plat = simnet::Platform::frontier_cpu();
+  const RooflineParams seq =
+      calibrate_roofline(plat, SweepKind::kOneSidedMpi, 1);
+  const RooflineParams par =
+      calibrate_roofline(plat, SweepKind::kOneSidedMpi, 4);
+  EXPECT_EQ(seq.o_us, par.o_us);
+  EXPECT_EQ(seq.L_us, par.L_us);
+  EXPECT_EQ(seq.peak_gbs, par.peak_gbs);
+}
+
+// Wall-clock speedup demonstration for the parallel runner. Only meaningful
+// on a multi-core host, so it skips (after printing the measurement) when
+// fewer than 4 cores are available; EXPERIMENTS.md records measured numbers.
+TEST(Parallel, SweepSpeedupWithJobs4OnMultiCoreHosts) {
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kOneSidedMpi;
+  cfg.msg_sizes = {8, 64, 512, 4096, 32768, 262144};
+  cfg.msgs_per_sync = {1, 10, 100, 1000};
+  cfg.iters = 8;
+  const auto plat = simnet::Platform::perlmutter_cpu();
+
+  const auto time_once = [&](int jobs) {
+    cfg.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto pts = run_sweep(plat, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    EXPECT_EQ(pts.size(), cfg.msg_sizes.size() * cfg.msgs_per_sync.size());
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  const double t_seq = time_once(1);
+  const double t_par = time_once(4);
+  const double speedup = t_seq / t_par;
+  std::printf("[ INFO     ] 24-point sweep: jobs=1 %.3fs, jobs=4 %.3fs "
+              "(%.2fx, %u hardware threads)\n",
+              t_seq, t_par, speedup, std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "speedup assertion needs >= 4 cores; measured "
+                 << speedup << "x";
+  }
+  EXPECT_GT(speedup, 1.5);
 }
 
 TEST(Split, LargeMessagesGainFromSplittingOnPerlmutterGpu) {

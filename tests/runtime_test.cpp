@@ -164,6 +164,142 @@ TEST(Engine, ManyRanksComplete) {
   EXPECT_DOUBLE_EQ(r.makespan_us, 127.0);
 }
 
+TEST(Engine, ReusesThreadPoolAcrossManyRuns) {
+  // The sweep runner calls run() thousands of times per engine; rank
+  // threads are spawned once and parked between runs, and every run must
+  // start from pristine clocks/epochs/trace regardless of history.
+  runtime::EngineOptions opt;
+  opt.trace = true;
+  Engine eng(plat(), 4, opt);
+  auto body = [&](Rank& rank) {
+    EXPECT_DOUBLE_EQ(rank.now(), 0.0);   // clock reset by run()
+    EXPECT_EQ(rank.epoch(), 0u);         // epoch reset by run()
+    rank.advance(1.0 + rank.id());
+    rank.bump_epoch();
+    eng.perform(rank, [] {});
+  };
+  for (int i = 0; i < 100; ++i) {
+    const RunResult r = eng.run(body);
+    ASSERT_TRUE(r.ok()) << "run " << i << ": " << r.status.to_string();
+    EXPECT_DOUBLE_EQ(r.makespan_us, 4.0) << "run " << i;
+    ASSERT_EQ(r.rank_end_us.size(), 4u);
+    for (int id = 0; id < 4; ++id) {
+      EXPECT_DOUBLE_EQ(r.rank_end_us[static_cast<std::size_t>(id)],
+                       1.0 + id)
+          << "run " << i;
+    }
+  }
+}
+
+TEST(Engine, CleanRunAfterDeadlockedRun) {
+  Engine eng(plat(), 2);
+  // Run 1: deadlock — both ranks block forever.
+  const RunResult bad = eng.run([&](Rank& rank) {
+    eng.wait(rank, "never",
+             []() -> std::optional<double> { return std::nullopt; });
+  });
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status.code(), ErrorCode::kDeadlock);
+
+  // Run 2 on the same engine (same parked threads) must be pristine: no
+  // leftover abort flag, grants, or blocked bookkeeping.
+  bool flag = false;
+  const RunResult good = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      rank.advance(2.0);
+      eng.perform(rank, [&] { flag = true; });
+    } else {
+      eng.wait(rank, "flag", [&]() -> std::optional<double> {
+        return flag ? std::optional<double>(3.0) : std::nullopt;
+      });
+      EXPECT_DOUBLE_EQ(rank.now(), 3.0);
+    }
+  });
+  ASSERT_TRUE(good.ok()) << good.status.to_string();
+  EXPECT_DOUBLE_EQ(good.makespan_us, 3.0);
+
+  // Run 3: deadlock again, then run 4 clean again — alternating states.
+  const RunResult bad2 = eng.run([&](Rank& rank) {
+    if (rank.id() == 1) {
+      eng.wait(rank, "orphan",
+               []() -> std::optional<double> { return std::nullopt; });
+    }
+  });
+  EXPECT_EQ(bad2.status.code(), ErrorCode::kDeadlock);
+  const RunResult good2 = eng.run([](Rank& rank) { rank.advance(1.0); });
+  ASSERT_TRUE(good2.ok());
+  EXPECT_DOUBLE_EQ(good2.makespan_us, 1.0);
+}
+
+TEST(Engine, CleanRunAfterBodyExceptionRun) {
+  Engine eng(plat(), 2);
+  const RunResult bad = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) throw std::runtime_error("boom");
+    eng.wait(rank, "forever",
+             []() -> std::optional<double> { return std::nullopt; });
+  });
+  EXPECT_FALSE(bad.ok());
+  const RunResult good = eng.run([](Rank& rank) { rank.advance(5.0); });
+  ASSERT_TRUE(good.ok()) << good.status.to_string();
+  EXPECT_DOUBLE_EQ(good.makespan_us, 5.0);
+}
+
+TEST(Engine, TraceResetsBetweenRuns) {
+  runtime::EngineOptions opt;
+  opt.trace = true;
+  Engine eng(plat(), 2, opt);
+  auto record_one = [&](Rank& rank) {
+    if (rank.id() == 0) {
+      eng.perform(rank, [&] {
+        simnet::MsgRecord rec;
+        rec.src_rank = 0;
+        rec.dst_rank = 1;
+        rec.bytes = 8;
+        eng.trace().record(rec);
+      });
+    }
+  };
+  ASSERT_TRUE(eng.run(record_one).ok());
+  EXPECT_EQ(eng.trace().records().size(), 1u);
+  // A second run starts a fresh trace instead of accumulating.
+  ASSERT_TRUE(eng.run(record_one).ok());
+  EXPECT_EQ(eng.trace().records().size(), 1u);
+}
+
+TEST(Engine, RepeatedRunsAreDeterministicWithBlockingWaits) {
+  // Exercises the targeted-handoff scheduler: blocked ranks are re-queued
+  // without waking, so repeated runs of a blocking workload must still give
+  // identical clocks.
+  Engine eng(plat(), 6);
+  std::vector<double> flags_time(6, -1.0);
+  std::vector<bool> flags(6, false);
+  auto body = [&](Rank& rank) {
+    if (rank.id() == 0) {
+      for (int i = 0; i < 6; ++i) flags[static_cast<std::size_t>(i)] = false;
+    }
+    const int peer = (rank.id() + 1) % 6;
+    rank.advance(0.5 * (rank.id() + 1));
+    eng.perform(rank, [&] {
+      flags[static_cast<std::size_t>(rank.id())] = true;
+      flags_time[static_cast<std::size_t>(rank.id())] = rank.now();
+    });
+    eng.wait(rank, "peer flag", [&]() -> std::optional<double> {
+      if (!flags[static_cast<std::size_t>(peer)]) return std::nullopt;
+      return flags_time[static_cast<std::size_t>(peer)] + 0.25;
+    });
+  };
+  const RunResult a = eng.run(body);
+  ASSERT_TRUE(a.ok()) << a.status.to_string();
+  for (int i = 0; i < 20; ++i) {
+    const RunResult b = eng.run(body);
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.rank_end_us.size(), b.rank_end_us.size());
+    for (std::size_t j = 0; j < a.rank_end_us.size(); ++j) {
+      EXPECT_EQ(a.rank_end_us[j], b.rank_end_us[j]) << "run " << i;
+    }
+  }
+}
+
 TEST(Engine, RejectsMoreRanksThanPlatformHosts) {
   EXPECT_DEATH(Engine(simnet::Platform::perlmutter_gpu(), 5),
                "more ranks than the platform");
