@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       cfg.nranks = 4;
       cfg.sender = 0;
       cfg.receiver = 3;  // crosses the X-Bus
-      const auto pts = core::run_sweep(plat, cfg);
+      const auto pts = bench::unwrap(core::run_sweep(plat, cfg));
       t.add_row({mode == simnet::RouteMode::kCutThrough ? "cut-through"
                                                         : "store-and-forward",
                  format_time_us(pts[0].eff_latency_us)});
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
       cfg.kind = core::SweepKind::kShmemPutSignal;
       cfg.msg_sizes = {800};
       cfg.msgs_per_sync = {1};
-      const auto pts = core::run_sweep(plat, cfg);
+      const auto pts = bench::unwrap(core::run_sweep(plat, cfg));
       t.add_row({"put-with-signal (fused)", "1",
                  format_time_us(pts[0].eff_latency_us)});
     }
@@ -108,9 +108,9 @@ int main(int argc, char** argv) {
       cfg.kind = core::SweepKind::kOneSidedMpi;
       cfg.msg_sizes = {800};
       cfg.msgs_per_sync = {1};
-      const auto data_pts = core::run_sweep(plat, cfg);
+      const auto data_pts = bench::unwrap(core::run_sweep(plat, cfg));
       cfg.msg_sizes = {8};
-      const auto sig_pts = core::run_sweep(plat, cfg);
+      const auto sig_pts = bench::unwrap(core::run_sweep(plat, cfg));
       t.add_row({"MPI put+flush+signal+flush", "4",
                  format_time_us(data_pts[0].eff_latency_us +
                                 sig_pts[0].eff_latency_us)});

@@ -15,22 +15,29 @@
 
 #include "core/parallel.hpp"
 #include "util/csv.hpp"
+#include "util/status.hpp"
 
 namespace mrl::bench {
 
 struct Args {
   bool full = false;  ///< paper-scale problem sizes (slower)
   int jobs = 0;       ///< concurrent grid points; 0 = hardware concurrency
+  /// Experiment seed for fault-injection substreams (benches that sweep
+  /// FaultSpecs, e.g. ext_fault_sweep). Same seed => byte-identical output.
+  std::uint64_t fault_seed = 0x5EEDF007ULL;
 
   static void usage(const char* prog, std::FILE* out) {
-    std::fprintf(out, "usage: %s [--full] [--jobs N]\n", prog);
+    std::fprintf(out, "usage: %s [--full] [--jobs N] [--fault-seed S]\n",
+                 prog);
     std::fprintf(out,
-                 "  --full     paper-scale problem sizes (slower)\n"
-                 "  --jobs N   run up to N independent grid points "
+                 "  --full         paper-scale problem sizes (slower)\n"
+                 "  --jobs N       run up to N independent grid points "
                  "concurrently (N >= 1;\n"
-                 "             default: hardware concurrency; 1 = "
+                 "                 default: hardware concurrency; 1 = "
                  "sequential; output is\n"
-                 "             bit-identical for every N)\n");
+                 "                 bit-identical for every N)\n"
+                 "  --fault-seed S seed for fault-injection substreams "
+                 "(fault-sweep benches)\n");
   }
 
   /// Parses the shared bench flags; unrecognized arguments are an error.
@@ -65,6 +72,27 @@ struct Args {
           std::exit(2);
         }
         a.jobs = static_cast<int>(n);
+      } else if (std::strcmp(arg, "--fault-seed") == 0 ||
+                 std::strncmp(arg, "--fault-seed=", 13) == 0) {
+        const char* val = nullptr;
+        if (arg[12] == '=') {
+          val = arg + 13;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --fault-seed requires a value\n", argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        char* end = nullptr;
+        const unsigned long long s = std::strtoull(val, &end, 0);
+        if (end == val || *end != '\0') {
+          std::fprintf(stderr, "%s: invalid --fault-seed value '%s'\n",
+                       argv[0], val);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        a.fault_seed = static_cast<std::uint64_t>(s);
       } else {
         std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], arg);
         usage(argv[0], stderr);
@@ -88,9 +116,25 @@ inline void dump_csv(const std::string& name,
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
   const std::string path = "bench_out/" + name + ".csv";
-  if (write_csv_file(path, rows)) {
-    std::printf("[csv] %s\n", path.c_str());
+  const Status st = write_csv_file(path, rows);
+  if (!st.is_ok()) {
+    // A partial/missing CSV must not look like a successful run.
+    std::fprintf(stderr, "FATAL: %s\n", st.to_string().c_str());
+    std::exit(1);
   }
+  std::printf("[csv] %s\n", path.c_str());
+}
+
+/// Unwraps a Result or exits the bench with the carried Status on stderr —
+/// a deadlocked/timed-out simulation must fail the binary, not silently
+/// emit a partial table.
+template <typename T>
+T unwrap(Result<T> r) {
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", r.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
 }
 
 }  // namespace mrl::bench

@@ -104,8 +104,8 @@ int main(int argc, char** argv) {
           bytes_per_us_to_gbs(2.0 * (cs.pes - 1) / cs.pes *
                                   static_cast<double>(count) * 8,
                               us);
-      const core::RooflineParams fit = core::calibrate_roofline(
-          cs.plat, core::SweepKind::kShmemPutSignal);
+      const core::RooflineParams fit = bench::unwrap(core::calibrate_roofline(
+          cs.plat, core::SweepKind::kShmemPutSignal));
       t.add_row({cs.plat.name(), std::to_string(cs.pes), format_time_us(us),
                  format_gbs(bus), format_gbs(fit.peak_gbs)});
     }

@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
   std::vector<core::SweepPoint> pts_on, pts_cross;
   core::parallel_for_indexed(2, jobs, [&](int, std::size_t i) {
     if (i == 0) {
-      pts_on = core::run_sweep(one_node, base);
+      pts_on = bench::unwrap(core::run_sweep(one_node, base));
     } else {
-      pts_cross = core::run_sweep(two_node, cross);
+      pts_cross = bench::unwrap(core::run_sweep(two_node, cross));
     }
   });
 

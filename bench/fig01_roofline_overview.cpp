@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       core::SweepKind::kOneSidedMpi);
   if (!args.full) cfg.iters = 4;
   cfg.jobs = args.jobs;  // <= 0 resolves to hardware concurrency
-  const auto points = core::run_sweep(plat, cfg);
+  const auto points = bench::unwrap(core::run_sweep(plat, cfg));
 
   // Fit the rounded model from the empirical data — "the diagonal ceilings
   // (latency lines) are inferred based [on] the empirical data".

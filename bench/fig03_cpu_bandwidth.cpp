@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   }
   core::parallel_for_indexed(6, jobs, [&](int, std::size_t i) {
     const auto pi = i / 2, ki = i % 2;
-    results[pi][ki] = core::run_sweep(plats[pi], grid[pi][ki]);
+    results[pi][ki] = bench::unwrap(core::run_sweep(plats[pi], grid[pi][ki]));
   });
 
   for (int pi = 0; pi < 3; ++pi) {

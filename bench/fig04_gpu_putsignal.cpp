@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         core::SweepConfig::defaults(core::SweepKind::kShmemPutSignal);
     if (!args.full) cfg.iters = 4;
     cfg.jobs = std::max(1, jobs / 2);  // split the budget across platforms
-    results[i] = core::run_sweep(cases[i].plat, cfg);
+    results[i] = bench::unwrap(core::run_sweep(cases[i].plat, cfg));
   });
 
   for (std::size_t ci = 0; ci < 2; ++ci) {

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   core::SweepConfig scfg = core::SweepConfig::defaults(
       core::SweepKind::kTwoSided);
   scfg.iters = 4;
-  const auto fit = core::fit_roofline(core::run_sweep(plat, scfg));
+  const auto fit = core::fit_roofline(bench::unwrap(core::run_sweep(plat, scfg)));
 
   // Stencil dot (two-sided, 4 msgs/sync).
   workloads::stencil::Config stc;
@@ -78,9 +78,9 @@ int main(int argc, char** argv) {
   one_cfg.kind = core::SweepKind::kOneSidedMpi;
   one_cfg.msg_sizes = {800};
   one_cfg.msgs_per_sync = {1};
-  const double one_data = core::run_sweep(plat, one_cfg)[0].eff_latency_us;
+  const double one_data = bench::unwrap(core::run_sweep(plat, one_cfg))[0].eff_latency_us;
   one_cfg.msg_sizes = {8};
-  const double one_sig = core::run_sweep(plat, one_cfg)[0].eff_latency_us;
+  const double one_sig = bench::unwrap(core::run_sweep(plat, one_cfg))[0].eff_latency_us;
   std::printf(
       "per-message sync latency: SpTRSV two-sided %s (paper 3.3 us), "
       "one-sided 4-op %s (paper ~5 us)\n",

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   core::SweepConfig scfg =
       core::SweepConfig::defaults(core::SweepKind::kShmemPutSignal);
   scfg.iters = 4;
-  const auto fit = core::fit_roofline(core::run_sweep(gpu, scfg));
+  const auto fit = core::fit_roofline(bench::unwrap(core::run_sweep(gpu, scfg)));
   core::RooflineModel model(fit.params);
 
   // Overlap-amortized latency: o + L_msg / m — messages issued in the same

@@ -11,10 +11,12 @@
 // Platforms: perlmutter-cpu frontier-cpu summit-cpu
 //            perlmutter-gpu summit-gpu frontier-gpu
 // Runtimes:  two-sided one-sided shmem cas
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/fit.hpp"
 #include "mpi/comm.hpp"
@@ -36,7 +38,7 @@ using namespace mrl;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: msgroof_cli <command> [...]\n"
+      "usage: msgroof_cli [--faults I] [--fault-seed S] <command> [...]\n"
       "  platforms\n"
       "  sweep <platform> <runtime> [--csv out.csv] [--jobs N]\n"
       "  stencil <platform> <ranks> [n] [iters]\n"
@@ -45,18 +47,35 @@ using namespace mrl;
       "  trace <platform> <ranks> <out.json>\n"
       "platforms: perlmutter-cpu frontier-cpu summit-cpu perlmutter-gpu "
       "summit-gpu frontier-gpu\n"
-      "runtimes: two-sided one-sided shmem cas\n");
+      "runtimes: two-sided one-sided shmem cas\n"
+      "global flags:\n"
+      "  --faults I      inject deterministic fabric faults at intensity I\n"
+      "                  (0 = pristine, 1 = heavily degraded)\n"
+      "  --fault-seed S  seed for the fault-injection substreams (default\n"
+      "                  0x5EEDF007); same seed => byte-identical output\n");
   std::exit(2);
 }
 
+// Global fault-injection knobs (set by --faults / --fault-seed; applied to
+// every platform the chosen command builds).
+double g_fault_intensity = 0;
+std::uint64_t g_fault_seed = 0x5EEDF007ULL;
+
 simnet::Platform pick_platform(const std::string& name) {
   using simnet::Platform;
-  if (name == "perlmutter-cpu") return Platform::perlmutter_cpu();
-  if (name == "frontier-cpu") return Platform::frontier_cpu();
-  if (name == "summit-cpu") return Platform::summit_cpu();
-  if (name == "perlmutter-gpu") return Platform::perlmutter_gpu();
-  if (name == "summit-gpu") return Platform::summit_gpu();
-  if (name == "frontier-gpu") return Platform::frontier_gpu();
+  auto with_faults = [](Platform plat) {
+    if (g_fault_intensity > 0) {
+      plat.set_faults(
+          simnet::FaultSpec::at_intensity(g_fault_intensity, g_fault_seed));
+    }
+    return plat;
+  };
+  if (name == "perlmutter-cpu") return with_faults(Platform::perlmutter_cpu());
+  if (name == "frontier-cpu") return with_faults(Platform::frontier_cpu());
+  if (name == "summit-cpu") return with_faults(Platform::summit_cpu());
+  if (name == "perlmutter-gpu") return with_faults(Platform::perlmutter_gpu());
+  if (name == "summit-gpu") return with_faults(Platform::summit_gpu());
+  if (name == "frontier-gpu") return with_faults(Platform::frontier_gpu());
   std::fprintf(stderr, "unknown platform '%s'\n", name.c_str());
   usage();
 }
@@ -103,7 +122,12 @@ int cmd_sweep(int argc, char** argv) {
   core::SweepConfig cfg = core::SweepConfig::defaults(kind);
   cfg.iters = 4;
   cfg.jobs = jobs;
-  const auto pts = core::run_sweep(plat, cfg);
+  const auto sweep = core::run_sweep(plat, cfg);
+  if (!sweep.is_ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", sweep.status().to_string().c_str());
+    return 1;
+  }
+  const auto& pts = sweep.value();
   const auto fit = core::fit_roofline(pts);
 
   core::RooflineFigure fig(plat.name() + " / " + core::to_string(kind),
@@ -112,7 +136,11 @@ int cmd_sweep(int argc, char** argv) {
   fig.add_points("measured", '*', pts);
   std::printf("%s", fig.render().c_str());
   if (!csv_path.empty()) {
-    write_csv_file(csv_path, fig.csv_rows());
+    const Status st = write_csv_file(csv_path, fig.csv_rows());
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", st.to_string().c_str());
+      return 1;
+    }
     std::printf("[csv] %s\n", csv_path.c_str());
   }
   return 0;
@@ -235,6 +263,40 @@ int cmd_trace(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --faults / --fault-seed flags (valid before or after
+  // the command) so each command parser sees only its own arguments.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--faults") == 0 ||
+        std::strcmp(arg, "--fault-seed") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg);
+        usage();
+      }
+      const char* val = argv[++i];
+      char* end = nullptr;
+      if (std::strcmp(arg, "--faults") == 0) {
+        g_fault_intensity = std::strtod(val, &end);
+        if (end == val || *end != '\0' || g_fault_intensity < 0) {
+          std::fprintf(stderr, "invalid --faults value '%s'\n", val);
+          usage();
+        }
+      } else {
+        g_fault_seed =
+            static_cast<std::uint64_t>(std::strtoull(val, &end, 0));
+        if (end == val || *end != '\0') {
+          std::fprintf(stderr, "invalid --fault-seed value '%s'\n", val);
+          usage();
+        }
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   if (cmd == "platforms") return cmd_platforms();

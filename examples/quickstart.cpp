@@ -46,7 +46,13 @@ int main() {
   cfg.kind = core::SweepKind::kTwoSided;
   cfg.msg_sizes = {64, 4096, 262144, 4194304};
   cfg.msgs_per_sync = {1, 32, 1024};
-  const auto points = core::run_sweep(plat, cfg);
+  const auto sweep = core::run_sweep(plat, cfg);
+  if (!sweep.is_ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 sweep.status().to_string().c_str());
+    return 1;
+  }
+  const auto& points = sweep.value();
   for (const auto& p : points) {
     std::printf("  %10s x %5.0f msg/sync -> %s\n",
                 format_bytes(static_cast<std::uint64_t>(p.bytes)).c_str(),

@@ -58,7 +58,13 @@ int main(int argc, char** argv) {
 
   std::printf("calibrating %s / %s (running sweeps on the simulated fabric)"
               "...\n\n", plat.name().c_str(), core::to_string(kind).c_str());
-  const core::RooflineParams params = core::calibrate_roofline(plat, kind);
+  const auto calib = core::calibrate_roofline(plat, kind);
+  if (!calib.is_ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 calib.status().to_string().c_str());
+    return 1;
+  }
+  const core::RooflineParams params = calib.value();
   core::RooflineModel model(params);
 
   core::RooflineFigure fig(plat.name() + " — " + core::to_string(kind),

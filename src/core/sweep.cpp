@@ -41,7 +41,7 @@ namespace {
 /// (and its persistent rank threads) across all the grid points they draw.
 constexpr std::uint64_t kSlots = 8;  // buffer slots reused modulo the window
 
-double run_two_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
+Result<double> run_two_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
                            std::uint64_t bytes, std::uint64_t m, int iters) {
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
@@ -77,11 +77,11 @@ double run_two_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
     }
     c.barrier();
   });
-  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  if (!res.ok()) return res.status;
   return elapsed;
 }
 
-double run_one_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
+Result<double> run_one_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
                            std::uint64_t bytes, std::uint64_t m, int iters) {
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
@@ -104,11 +104,11 @@ double run_one_sided_point(runtime::Engine& eng, const SweepConfig& cfg,
     }
     c.barrier();
   });
-  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  if (!res.ok()) return res.status;
   return elapsed;
 }
 
-double run_shmem_point(runtime::Engine& eng, const SweepConfig& cfg,
+Result<double> run_shmem_point(runtime::Engine& eng, const SweepConfig& cfg,
                        std::uint64_t bytes, std::uint64_t m, int iters) {
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
@@ -137,11 +137,11 @@ double run_shmem_point(runtime::Engine& eng, const SweepConfig& cfg,
         s.barrier_all();
       },
       opt);
-  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  if (!res.ok()) return res.status;
   return elapsed;
 }
 
-double run_cas_point(runtime::Engine& eng, const SweepConfig& cfg,
+Result<double> run_cas_point(runtime::Engine& eng, const SweepConfig& cfg,
                      std::uint64_t /*bytes*/, std::uint64_t m, int iters) {
   const std::uint64_t slots = std::min(m, kSlots);
   double elapsed = 0;
@@ -159,14 +159,14 @@ double run_cas_point(runtime::Engine& eng, const SweepConfig& cfg,
     }
     s.barrier_all();
   });
-  MRL_CHECK_MSG(res.ok(), res.status.message().c_str());
+  if (!res.ok()) return res.status;
   return elapsed;
 }
 
 }  // namespace
 
-std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
-                                  const SweepConfig& cfg) {
+Result<std::vector<SweepPoint>> run_sweep(const simnet::Platform& platform,
+                                          const SweepConfig& cfg) {
   MRL_CHECK(cfg.iters >= 1 && cfg.nranks >= 2);
   MRL_CHECK(cfg.sender != cfg.receiver);
 
@@ -193,6 +193,7 @@ std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
 
   const int jobs = resolve_jobs(cfg.jobs);
   std::vector<SweepPoint> out(cells.size());
+  std::vector<Status> errs(cells.size());
   // One engine (and persistent rank-thread pool) per worker, reused across
   // every grid point that worker draws. Each point is a fully isolated
   // simulation (fabric/clock/trace reset per run), so reuse is
@@ -205,7 +206,7 @@ std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
       eng = std::make_unique<runtime::Engine>(platform, cfg.nranks);
     }
     const Cell& cell = cells[i];
-    double elapsed = 0;
+    Result<double> elapsed = 0.0;
     switch (cfg.kind) {
       case SweepKind::kTwoSided:
         elapsed = run_two_sided_point(*eng, cfg, cell.bytes, cell.m,
@@ -222,16 +223,34 @@ std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
         elapsed = run_cas_point(*eng, cfg, cell.bytes, cell.m, cell.iters);
         break;
     }
+    if (!elapsed.is_ok()) {
+      // Deadlock/watchdog at this grid point (possible under faults): record
+      // into the point's pre-assigned slot; the engine stays reusable for
+      // the worker's remaining points.
+      errs[i] = elapsed.status();
+      return;
+    }
     const double total_bytes = static_cast<double>(cell.bytes) *
                                static_cast<double>(cell.m) * cell.iters;
     SweepPoint pt;
     pt.bytes = static_cast<double>(cell.bytes);
     pt.msgs_per_sync = static_cast<double>(cell.m);
-    pt.measured_gbs = bytes_per_us_to_gbs(total_bytes, elapsed);
-    pt.eff_latency_us = elapsed / (static_cast<double>(cell.m) *
-                                   static_cast<double>(cell.iters));
+    pt.measured_gbs = bytes_per_us_to_gbs(total_bytes, elapsed.value());
+    pt.eff_latency_us = elapsed.value() / (static_cast<double>(cell.m) *
+                                           static_cast<double>(cell.iters));
     out[i] = pt;
   });
+  // Deterministic error selection: the first failing point in grid order,
+  // regardless of which worker hit it first.
+  for (std::size_t i = 0; i < errs.size(); ++i) {
+    if (!errs[i].is_ok()) {
+      return Status(errs[i].code(),
+                    "sweep point " + std::to_string(i) + " (" +
+                        std::to_string(cells[i].bytes) + " B x " +
+                        std::to_string(cells[i].m) + " msgs/sync): " +
+                        errs[i].message());
+    }
+  }
   return out;
 }
 
@@ -257,13 +276,14 @@ double measure_cas_latency_us(const simnet::Platform& platform, int nranks,
   return elapsed / reps;
 }
 
-RooflineParams calibrate_roofline(const simnet::Platform& platform,
-                                  SweepKind kind, int jobs) {
+Result<RooflineParams> calibrate_roofline(const simnet::Platform& platform,
+                                          SweepKind kind, int jobs) {
   SweepConfig cfg = SweepConfig::defaults(kind);
   cfg.iters = 4;
   cfg.jobs = jobs;
-  const std::vector<SweepPoint> pts = run_sweep(platform, cfg);
-  return fit_roofline(pts).params;
+  auto pts = run_sweep(platform, cfg);
+  if (!pts.is_ok()) return pts.status();
+  return fit_roofline(pts.value()).params;
 }
 
 }  // namespace mrl::core

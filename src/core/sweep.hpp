@@ -17,6 +17,7 @@
 
 #include "core/model.hpp"
 #include "simnet/platform.hpp"
+#include "util/status.hpp"
 
 namespace mrl::core {
 
@@ -50,8 +51,12 @@ struct SweepConfig {
 /// Runs the sweep on `platform`; one engine run per grid point. Grid points
 /// execute `cfg.jobs`-wide in parallel; output order matches the
 /// (msg_sizes x msgs_per_sync) iteration order regardless of jobs.
-std::vector<SweepPoint> run_sweep(const simnet::Platform& platform,
-                                  const SweepConfig& cfg);
+///
+/// A grid point that ends in deadlock or trips the engine's virtual-time
+/// watchdog (possible under an aggressive FaultSpec) surfaces as an error
+/// Status — the first failing point in grid order, independent of `jobs`.
+Result<std::vector<SweepPoint>> run_sweep(const simnet::Platform& platform,
+                                          const SweepConfig& cfg);
 
 /// Mean latency of one blocking remote atomic CAS between two ranks
 /// (Fig 4's 0.8 us / 1.0 us / 1.6 us probes).
@@ -60,7 +65,7 @@ double measure_cas_latency_us(const simnet::Platform& platform, int nranks,
 
 /// Fits roofline parameters from a fresh sweep on the platform. `jobs`
 /// forwards to SweepConfig::jobs (<= 0 = core::default_jobs()).
-RooflineParams calibrate_roofline(const simnet::Platform& platform,
-                                  SweepKind kind, int jobs = 0);
+Result<RooflineParams> calibrate_roofline(const simnet::Platform& platform,
+                                          SweepKind kind, int jobs = 0);
 
 }  // namespace mrl::core

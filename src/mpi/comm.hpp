@@ -91,8 +91,9 @@ class Comm {
   [[nodiscard]] int size() const { return world_->nranks_; }
   [[nodiscard]] simnet::TimeUs now() const { return rank_->now(); }
 
-  /// Charges local compute virtual time.
-  void compute(double us) { rank_->advance(us); }
+  /// Charges local compute virtual time (scaled up on fault-injected
+  /// straggler ranks).
+  void compute(double us) { rank_->advance(us * rank_->compute_scale()); }
 
   [[nodiscard]] runtime::Rank& rank_ctx() { return *rank_; }
   [[nodiscard]] World& world() { return *world_; }

@@ -51,7 +51,7 @@ Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
     }
     eng.trace().record(simnet::MsgRecord{rank(), dst, bytes, rank_->now(),
                                          m.arrival_us, simnet::OpKind::kSend,
-                                         rank_->epoch()});
+                                         rank_->epoch(), tr.drops});
     world_->mailbox_[static_cast<std::size_t>(dst)].push_back(std::move(m));
     req.send_complete_us = tr.inject_free_us;
   });

@@ -57,7 +57,7 @@ void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
         Outstanding{target, arrival, res.inject_free_us});
     eng.trace().record(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
                                          arrival, kind,
-                                         c.rank_ctx().epoch()});
+                                         c.rank_ctx().epoch(), res.drops});
   });
 }
 
@@ -78,14 +78,21 @@ void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
     const double pair_bw =
         eng.platform().pair_peak_gbs(c.rank(), target, c.size());
     const double ser = static_cast<double>(bytes) * gbs_to_us_per_byte(pair_bw);
-    total_us = pp.L_us + rtt + ser;
+    // Under injected faults the round trip additionally pays jitter/outage
+    // stalls, per-drop retransmit timeouts, and origin-side retry backoff
+    // (all zero on a pristine fabric).
+    const simnet::RoundTripFault rtf = eng.fabric().sample_round_trip(
+        c.rank_ctx().endpoint(),
+        eng.platform().endpoint_of_rank(target, c.size()), c.now());
+    total_us = pp.L_us + rtt + ser + rtf.extra_us +
+               eng.fabric().faults().backoff_us(rtf.drops);
     // Reads current contents: arrived-but-unapplied puts are not visible,
     // matching our separate-memory RMA model.
     std::memcpy(dest, tr.base + target_off, bytes);
     eng.trace().record(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
                                          c.now() + total_us,
                                          simnet::OpKind::kPut,
-                                         c.rank_ctx().epoch()});
+                                         c.rank_ctx().epoch(), rtf.drops});
   });
   c.rank_ctx().advance(total_us);
 }
@@ -210,11 +217,16 @@ std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
     rsp.src_rank = target;
     rsp.start_us = r1.arrival_us;
     const simnet::TransferResult r2 = eng.fabric().transfer(rsp);
-    total_us = r2.arrival_us - c.now();
+    // Retry-with-backoff accounting: each dropped request/response attempt
+    // already paid its retransmit timeout inside transfer(); the origin
+    // additionally backs off exponentially before re-issuing.
+    const int drops = r1.drops + r2.drops;
+    total_us = r2.arrival_us - c.now() +
+               eng.fabric().faults().backoff_us(drops);
     eng.trace().record(simnet::MsgRecord{c.rank(), target, 8, c.now(),
                                          c.now() + total_us,
                                          simnet::OpKind::kAtomic,
-                                         c.rank_ctx().epoch()});
+                                         c.rank_ctx().epoch(), drops});
   });
   c.rank_ctx().advance(total_us);
   return old;

@@ -21,6 +21,7 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
     r->id_ = i;
     r->size_ = nranks_;
     r->endpoint_ = platform_.endpoint_of_rank(i, nranks_);
+    r->compute_scale_ = fabric_->faults().straggler_scale(i);
     ranks_.push_back(std::move(r));
   }
 }
@@ -54,6 +55,7 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   granted_ = -1;
   done_count_ = 0;
   abort_ = false;
+  abort_code_ = ErrorCode::kDeadlock;
   abort_reason_.clear();
   body_error_.clear();
   body_ = &body;
@@ -81,7 +83,7 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   if (!body_error_.empty()) {
     res.status = Status(ErrorCode::kInternal, body_error_);
   } else if (abort_) {
-    res.status = Status(ErrorCode::kDeadlock, abort_reason_);
+    res.status = Status(abort_code_, abort_reason_);
   }
   return res;
 }
@@ -150,6 +152,35 @@ void Engine::rank_main(int id) {
 
 void Engine::check_abort_locked(const Rank&) const {
   if (abort_) throw AbortException{};
+}
+
+void Engine::check_watchdog_locked(const Rank& r) {
+  if (opt_.watchdog_virtual_us <= 0 || r.clock_ < opt_.watchdog_virtual_us) {
+    return;
+  }
+  // Livelock: the rank keeps making communication calls but its virtual
+  // clock has run past any plausible completion time. Convert the run into
+  // a diagnosable timeout instead of spinning forever.
+  std::ostringstream os;
+  os << "progress watchdog: rank " << r.id_ << " passed the virtual-time "
+     << "limit (" << opt_.watchdog_virtual_us << "us) —";
+  for (const auto& other : ranks_) {
+    os << " rank " << other->id_ << " at t=" << other->clock_ << "us";
+    switch (other->state_) {
+      case Rank::State::kBlocked:
+        os << " [blocked on " << other->what_ << "]";
+        break;
+      case Rank::State::kDone: os << " [done]"; break;
+      default: os << " [runnable]"; break;
+    }
+    os << ";";
+  }
+  abort_ = true;
+  abort_code_ = ErrorCode::kTimeout;
+  abort_reason_ = os.str();
+  MRL_LOG_ERROR("%s", abort_reason_.c_str());
+  for (auto& other : ranks_) other->cv_.notify_all();
+  throw AbortException{};
 }
 
 void Engine::set_state_locked(Rank& r, Rank::State s) {
@@ -232,6 +263,7 @@ void Engine::wake_satisfied_locked() {
 void Engine::perform(Rank& r, const std::function<void()>& fn) {
   std::unique_lock lk(mu_);
   check_abort_locked(r);
+  check_watchdog_locked(r);
   r.wake_ = r.clock_;
   set_state_locked(r, Rank::State::kReady);
   schedule_locked();
@@ -249,6 +281,7 @@ void Engine::wait(Rank& r, const char* what,
                   const std::function<void()>& finalize) {
   std::unique_lock lk(mu_);
   check_abort_locked(r);
+  check_watchdog_locked(r);
   // The caller enters holding the baton (it was the granted runner). Only a
   // baton-relinquishing thread may invoke the scheduler; after this thread
   // has been woken from kBlocked it no longer holds the baton and must wait

@@ -63,6 +63,12 @@ class Rank {
   /// Endpoint hosting this rank on the platform topology.
   [[nodiscard]] int endpoint() const { return endpoint_; }
 
+  /// Compute-time multiplier from fault injection (1.0 unless this rank is
+  /// a straggler). Communication layers apply it in their compute() helpers;
+  /// advance() itself is unscaled because it also implements absolute-time
+  /// waits (flush/quiet completion), which are not compute.
+  [[nodiscard]] double compute_scale() const { return compute_scale_; }
+
   /// Sender-side synchronization epoch (bumped by comm layers at each sync;
   /// the trace uses it to compute messages-per-sync).
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
@@ -83,6 +89,7 @@ class Rank {
   int endpoint_ = -1;
   simnet::TimeUs clock_ = 0;
   std::uint64_t epoch_ = 0;
+  double compute_scale_ = 1.0;
 
   enum class State { kReady, kRunning, kBlocked, kDone };
   State state_ = State::kReady;
@@ -95,6 +102,13 @@ class Rank {
 struct EngineOptions {
   bool trace = false;                ///< record every message
   bool reset_fabric_each_run = true; ///< clear contention state per run()
+  /// Virtual-time progress watchdog: when a rank's clock passes this limit
+  /// at a communication operation (perform/wait), the run is converted into
+  /// Status(kTimeout) with per-rank diagnostics instead of spinning forever
+  /// (e.g. a CAS retry storm that never wins under injected faults). The
+  /// watchdog only observes communication ops — a body that loops without
+  /// ever touching the engine is outside its contract. 0 disables it.
+  double watchdog_virtual_us = 1e9;
 };
 
 struct RunResult {
@@ -151,6 +165,7 @@ class Engine {
   void schedule_locked();
   void wake_satisfied_locked();
   void check_abort_locked(const Rank& r) const;
+  void check_watchdog_locked(const Rank& r);
   void set_state_locked(Rank& r, Rank::State s);
 
   simnet::Platform platform_;
@@ -175,6 +190,7 @@ class Engine {
   int granted_ = -1;
   int done_count_ = 0;
   bool abort_ = false;
+  ErrorCode abort_code_ = ErrorCode::kDeadlock;
   std::string abort_reason_;
   std::string body_error_;
   std::condition_variable run_cv_;

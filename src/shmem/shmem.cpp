@@ -132,7 +132,7 @@ void Ctx::put_bytes_nbi(std::uint64_t dest_off, const void* src,
     eng.trace().record(simnet::MsgRecord{
         pe(), target_pe, bytes, rank_->now(), arrival,
         has_signal ? simnet::OpKind::kPutSignal : simnet::OpKind::kPut,
-        rank_->epoch()});
+        rank_->epoch(), tr.drops});
   });
 }
 
@@ -146,7 +146,14 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
   eng.perform(*rank_, [&] {
     const double rtt = eng.platform().hw_rtt_us(pe(), target_pe, n_pes());
     const double bw = eng.platform().pair_peak_gbs(pe(), target_pe, n_pes());
-    total_us = pp.L_us + rtt + static_cast<double>(bytes) * gbs_to_us_per_byte(bw);
+    // Fault extras (jitter/outage stalls, retransmit timeouts, origin
+    // backoff) are all zero on a pristine fabric.
+    const simnet::RoundTripFault rtf = eng.fabric().sample_round_trip(
+        rank_->endpoint(), eng.platform().endpoint_of_rank(target_pe, n_pes()),
+        rank_->now());
+    total_us = pp.L_us + rtt +
+               static_cast<double>(bytes) * gbs_to_us_per_byte(bw) +
+               rtf.extra_us + eng.fabric().faults().backoff_us(rtf.drops);
     std::memcpy(
         dest,
         world_->heap_[static_cast<std::size_t>(target_pe)].data() + src_off,
@@ -270,11 +277,15 @@ std::uint64_t Ctx::atomic_rmw(std::uint64_t target_off, std::uint64_t operand,
     rsp.src_rank = target_pe;
     rsp.start_us = r1.arrival_us;
     const simnet::TransferResult r2 = eng.fabric().transfer(rsp);
-    total_us = r2.arrival_us - rank_->now();
+    // Retry-with-backoff accounting: dropped attempts paid their retransmit
+    // timeouts inside transfer(); the origin also backs off exponentially.
+    const int drops = r1.drops + r2.drops;
+    total_us = r2.arrival_us - rank_->now() +
+               eng.fabric().faults().backoff_us(drops);
     eng.trace().record(simnet::MsgRecord{pe(), target_pe, 8, rank_->now(),
                                          rank_->now() + total_us,
                                          simnet::OpKind::kAtomic,
-                                         rank_->epoch()});
+                                         rank_->epoch(), drops});
   });
   rank_->advance(total_us);
   return old;

@@ -111,7 +111,9 @@ class Ctx {
   [[nodiscard]] int pe() const { return rank_->id(); }
   [[nodiscard]] int n_pes() const { return world_->npes_; }
   [[nodiscard]] simnet::TimeUs now() const { return rank_->now(); }
-  void compute(double us) { rank_->advance(us); }
+  /// Charges local compute virtual time (scaled up on fault-injected
+  /// straggler ranks).
+  void compute(double us) { rank_->advance(us * rank_->compute_scale()); }
   [[nodiscard]] runtime::Rank& rank_ctx() { return *rank_; }
 
   /// Collective symmetric allocation (all PEs must call in the same order

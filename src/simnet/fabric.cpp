@@ -9,11 +9,12 @@
 namespace mrl::simnet {
 
 Fabric::Fabric(const Topology* topo, RouteMode mode, double local_bw_gbs,
-               double local_latency_us)
+               double local_latency_us, const FaultSpec& faults)
     : topo_(topo),
       mode_(mode),
       local_bw_gbs_(local_bw_gbs),
-      local_latency_us_(local_latency_us) {
+      local_latency_us_(local_latency_us),
+      fault_(faults, topo != nullptr ? topo->num_links() * 2 : 0) {
   MRL_CHECK(topo_ != nullptr && topo_->finalized());
   MRL_CHECK(local_bw_gbs_ > 0);
   dlink_state_.reserve(static_cast<std::size_t>(topo_->num_links()) * 2);
@@ -79,52 +80,97 @@ TransferResult Fabric::transfer(const TransferParams& p) {
     };
     std::vector<Claim> claims;
     claims.reserve(path.size());
+    int total_drops = 0;
     for (const DirectedLink& dl : path) {
       const LinkSpec& spec = topo_->link(dl.link);
       LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
       const int lane = st.earliest_lane();
       const TimeUs start = std::max(head, st.lane_free_at(lane));
+      // Fault perturbation for this message-hop: neutral (0 extra latency,
+      // 1.0 bandwidth scale, 0 drops) unless a FaultSpec is active, so the
+      // arithmetic below stays bit-identical on a pristine fabric.
+      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), start);
       claims.push_back(Claim{&st, lane, start, spec.msg_occupancy_us});
-      head = start + spec.latency_us;
-      bottleneck_gbs = std::min(bottleneck_gbs, spec.channel_gbs());
+      head = start + spec.latency_us + hf.extra_latency_us;
+      bottleneck_gbs =
+          std::min(bottleneck_gbs, spec.channel_gbs() * hf.bw_scale);
+      total_drops += hf.drops;
     }
     const double ser =
         static_cast<double>(p.bytes) * gbs_to_us_per_byte(bottleneck_gbs);
-    r.arrival_us = head + ser + p.sw_latency_us;
+    // Every dropped attempt costs the retransmit timeout plus a full
+    // reserialization before the surviving copy gets through.
+    const double drop_extra =
+        total_drops == 0
+            ? 0.0
+            : total_drops *
+                  (fault_.spec().retransmit_timeout_us + ser);
+    r.arrival_us = head + ser + drop_extra + p.sw_latency_us;
+    r.drops = total_drops;
     // Each claimed lane is busy until the tail has passed it (or for the
     // link's per-message occupancy floor, whichever is longer).
     for (const Claim& c : claims) {
-      const double hold = std::max(ser, c.occupancy);
+      const double hold = std::max(ser + drop_extra, c.occupancy);
       c.state->set_lane_free_at(c.lane, c.start + hold);
       c.state->add_busy(hold);
     }
   } else {
     // Store-and-forward: the whole message is serialized on every hop.
     TimeUs t = inject_start;
+    int total_drops = 0;
     for (const DirectedLink& dl : path) {
       const LinkSpec& spec = topo_->link(dl.link);
       LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
       const int lane = st.earliest_lane();
       const TimeUs start = std::max(t, st.lane_free_at(lane));
-      double ser = spec.channel_ser_us(p.bytes);
+      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), start);
+      double ser = static_cast<double>(p.bytes) *
+                   gbs_to_us_per_byte(spec.channel_gbs() * hf.bw_scale);
       if (p.per_stream_gbs > 0) {
         ser = std::max(ser, static_cast<double>(p.bytes) *
                                 gbs_to_us_per_byte(p.per_stream_gbs));
       }
       if (p.pump_gbs > 0) ser = std::max(ser, pump_us);
-      const double hold = std::max(ser, spec.msg_occupancy_us);
-      t = start + spec.latency_us + ser;
-      st.set_lane_free_at(lane, start + spec.latency_us + hold);
+      const double drop_extra =
+          hf.drops == 0
+              ? 0.0
+              : hf.drops * (fault_.spec().retransmit_timeout_us + ser);
+      const double lat = spec.latency_us + hf.extra_latency_us;
+      const double hold = std::max(ser + drop_extra, spec.msg_occupancy_us);
+      t = start + lat + ser + drop_extra;
+      st.set_lane_free_at(lane, start + lat + hold);
       st.add_busy(hold);
+      total_drops += hf.drops;
     }
     r.arrival_us = t + p.sw_latency_us;
+    r.drops = total_drops;
   }
   return r;
+}
+
+RoundTripFault Fabric::sample_round_trip(int src_ep, int dst_ep,
+                                         TimeUs now_us) {
+  RoundTripFault rt;
+  if (!fault_.enabled() || src_ep == dst_ep) return rt;
+  MRL_CHECK(src_ep >= 0 && src_ep < topo_->num_endpoints());
+  MRL_CHECK(dst_ep >= 0 && dst_ep < topo_->num_endpoints());
+  for (int leg = 0; leg < 2; ++leg) {
+    const int from = leg == 0 ? src_ep : dst_ep;
+    const int to = leg == 0 ? dst_ep : src_ep;
+    for (const DirectedLink& dl : topo_->route(from, to)) {
+      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), now_us);
+      rt.extra_us += hf.extra_latency_us +
+                     hf.drops * fault_.spec().retransmit_timeout_us;
+      rt.drops += hf.drops;
+    }
+  }
+  return rt;
 }
 
 void Fabric::reset() {
   injector_free_.clear();
   for (LinkState& s : dlink_state_) s.reset();
+  fault_.reset();
   total_bytes_ = 0;
   total_msgs_ = 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "simnet/fault.hpp"
 #include "simnet/time.hpp"
 #include "simnet/topology.hpp"
 
@@ -40,15 +41,24 @@ struct TransferParams {
 struct TransferResult {
   TimeUs inject_free_us = 0;  ///< when the source may inject the next message
   TimeUs arrival_us = 0;      ///< when the last byte is visible at dst
+  int drops = 0;              ///< fault-injected transmission drops (charged)
+};
+
+/// Fault perturbation for an analytic (non-transfer) round trip, e.g. the
+/// get/atomic request-response paths that bypass transfer().
+struct RoundTripFault {
+  double extra_us = 0;  ///< jitter/outage/retransmit time charged at origin
+  int drops = 0;        ///< dropped attempts (input to backoff accounting)
 };
 
 /// Per-endpoint/per-link mutable state plus the transfer cost function.
 class Fabric {
  public:
   /// `local_bw_gbs`/`local_latency_us` cost same-endpoint transfers (ranks
-  /// sharing a socket communicate through shared memory).
+  /// sharing a socket communicate through shared memory). `faults` perturbs
+  /// link traversals; the default (empty) spec is a strict no-op.
   Fabric(const Topology* topo, RouteMode mode, double local_bw_gbs,
-         double local_latency_us);
+         double local_latency_us, const FaultSpec& faults = {});
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -56,11 +66,19 @@ class Fabric {
   /// Cost one message. Mutates injector and lane contention state.
   TransferResult transfer(const TransferParams& p);
 
-  /// Clears all contention state (between repetitions of an experiment).
+  /// Samples fault perturbations along the src->dst->src round trip at
+  /// virtual time `now_us` for operations costed analytically (gets,
+  /// atomics). Returns zeros — consuming no fault state — when faults are
+  /// disabled or the endpoints coincide.
+  RoundTripFault sample_round_trip(int src_ep, int dst_ep, TimeUs now_us);
+
+  /// Clears all contention state (between repetitions of an experiment),
+  /// including fault-injection ordinals.
   void reset();
 
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] RouteMode mode() const { return mode_; }
+  [[nodiscard]] const FaultModel& faults() const { return fault_; }
 
   /// Total bytes moved and per-link busy time since construction/reset.
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
@@ -74,6 +92,7 @@ class Fabric {
   double local_latency_us_;
   std::vector<TimeUs> injector_free_;       // per source rank (grown on use)
   std::vector<LinkState> dlink_state_;      // per directed link (2 per link)
+  FaultModel fault_;                        // seeded fault perturbations
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_msgs_ = 0;
 };

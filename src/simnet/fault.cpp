@@ -1,0 +1,109 @@
+#include "simnet/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace mrl::simnet {
+
+namespace {
+// Salt separating the straggler substream family from the per-hop family.
+constexpr std::uint64_t kStragglerSalt = 0x57A661E5ULL;
+}  // namespace
+
+FaultSpec FaultSpec::at_intensity(double intensity, std::uint64_t seed) {
+  MRL_CHECK(intensity >= 0.0);
+  FaultSpec f;
+  f.seed = seed;
+  if (intensity <= 0) return f;  // pristine
+  const double s = std::min(intensity, 1.0);
+  f.latency_jitter_us = 2.0 * s;
+  f.bw_degrade_frac = 0.5 * s;
+  f.bw_degrade_period_us = 500.0;
+  f.bw_degrade_duty = 0.3;
+  f.outage_prob = 0.01 * s;
+  f.outage_us = 25.0;
+  f.drop_prob = 0.02 * s;
+  f.retransmit_timeout_us = 20.0;
+  f.max_retransmits = 8;
+  f.backoff_base_us = 1.0;
+  f.backoff_cap_us = 200.0;
+  f.straggler_prob = 0.25 * s;
+  f.straggler_factor = 1.0 + 0.5 * s;
+  return f;
+}
+
+FaultModel::FaultModel(const FaultSpec& spec, int num_dlinks)
+    : spec_(spec), enabled_(spec.enabled()) {
+  MRL_CHECK(num_dlinks >= 0);
+  MRL_CHECK(spec_.bw_degrade_frac >= 0 && spec_.bw_degrade_frac < 1.0);
+  MRL_CHECK(spec_.drop_prob >= 0 && spec_.drop_prob < 1.0);
+  MRL_CHECK(spec_.outage_prob >= 0 && spec_.outage_prob <= 1.0);
+  MRL_CHECK(spec_.straggler_factor >= 1.0);
+  MRL_CHECK(spec_.max_retransmits >= 0);
+  ordinal_.assign(static_cast<std::size_t>(num_dlinks), 0);
+}
+
+FaultModel::HopFault FaultModel::next_hop_fault(int dlink, TimeUs head_us) {
+  HopFault hf;
+  if (!enabled_) return hf;
+  MRL_CHECK(dlink >= 0 &&
+            static_cast<std::size_t>(dlink) < ordinal_.size());
+  const std::uint64_t ord = ordinal_[static_cast<std::size_t>(dlink)]++;
+  // One independent substream per (seed, link, message ordinal): the draw
+  // order below is fixed, so a given message sees the same perturbation no
+  // matter which worker/engine simulates it.
+  Xoshiro256 g = Xoshiro256::for_stream(
+      spec_.seed, ((static_cast<std::uint64_t>(dlink) + 1) << 40) + ord);
+  if (spec_.latency_jitter_us > 0) {
+    hf.extra_latency_us += g.uniform_real(0.0, spec_.latency_jitter_us);
+  }
+  if (spec_.outage_prob > 0 && g.bernoulli(spec_.outage_prob)) {
+    hf.extra_latency_us += spec_.outage_us;
+  }
+  if (spec_.bw_degrade_frac > 0 && spec_.bw_degrade_duty > 0 &&
+      spec_.bw_degrade_period_us > 0) {
+    // Square-wave degradation in virtual time; each link's window phase is a
+    // fixed function of (seed, link) so the wave itself is deterministic.
+    SplitMix64 sm(spec_.seed ^ (0xD06F00DULL + static_cast<std::uint64_t>(dlink)));
+    const double phase = static_cast<double>(sm.next() >> 11) * 0x1.0p-53 *
+                         spec_.bw_degrade_period_us;
+    const double pos =
+        std::fmod(std::max(head_us, 0.0) + phase, spec_.bw_degrade_period_us);
+    if (pos < spec_.bw_degrade_duty * spec_.bw_degrade_period_us) {
+      hf.bw_scale = 1.0 - spec_.bw_degrade_frac;
+    }
+  }
+  if (spec_.drop_prob > 0) {
+    while (hf.drops < spec_.max_retransmits && g.bernoulli(spec_.drop_prob)) {
+      ++hf.drops;
+    }
+  }
+  return hf;
+}
+
+double FaultModel::backoff_us(int drops) const {
+  if (drops <= 0 || spec_.backoff_base_us <= 0) return 0.0;
+  double total = 0;
+  double step = spec_.backoff_base_us;
+  for (int i = 0; i < drops; ++i) {
+    total += std::min(step, spec_.backoff_cap_us);
+    step *= 2.0;
+  }
+  return total;
+}
+
+double FaultModel::straggler_scale(int rank) const {
+  if (!enabled_ || spec_.straggler_prob <= 0) return 1.0;
+  Xoshiro256 g = Xoshiro256::for_stream(spec_.seed ^ kStragglerSalt,
+                                        static_cast<std::uint64_t>(rank));
+  return g.bernoulli(spec_.straggler_prob) ? spec_.straggler_factor : 1.0;
+}
+
+void FaultModel::reset() {
+  std::fill(ordinal_.begin(), ordinal_.end(), 0ULL);
+}
+
+}  // namespace mrl::simnet

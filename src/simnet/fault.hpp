@@ -1,0 +1,123 @@
+// Seeded, bit-deterministic fault injection for the simulated fabric.
+//
+// A FaultSpec describes *how* a fabric misbehaves — per-hop latency jitter,
+// periodic bandwidth-degradation windows, transient link outages, message
+// drops that cost a retransmit timeout per attempt, and per-rank compute
+// stragglers. A FaultModel turns the spec into concrete per-message
+// perturbations.
+//
+// Determinism contract: every random draw comes from a fresh
+// Xoshiro256::for_stream substream keyed by (experiment seed, directed link
+// id, per-link message ordinal). The engine serializes fabric access in
+// virtual-time order, so the ordinal sequence — and therefore every
+// perturbation — is byte-identical across runs, machines, and `--jobs`
+// values. An empty (default) FaultSpec is a strict no-op: the fabric
+// produces bit-identical timings to a fault-free build.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace mrl::simnet {
+
+/// Tunable fault intensities. All fields default to "off"; a
+/// default-constructed spec disables the layer entirely.
+struct FaultSpec {
+  std::uint64_t seed = 0x5EEDF007ULL;  ///< experiment seed for all substreams
+
+  // --- per-hop latency jitter -------------------------------------------
+  /// Extra per-hop latency, uniform in [0, latency_jitter_us) per message.
+  double latency_jitter_us = 0;
+
+  // --- bandwidth-degradation windows ------------------------------------
+  /// Fraction of lane bandwidth lost inside a degradation window (0..1).
+  double bw_degrade_frac = 0;
+  /// Period of the square-wave degradation windows (virtual us).
+  double bw_degrade_period_us = 500.0;
+  /// Fraction of each period spent degraded (0..1). Window phase is derived
+  /// from (seed, link id), so links degrade at different virtual times.
+  double bw_degrade_duty = 0.3;
+
+  // --- transient link outages -------------------------------------------
+  /// Probability that a message-hop hits a transient outage.
+  double outage_prob = 0;
+  /// Stall charged to the message head when an outage hits (virtual us).
+  double outage_us = 25.0;
+
+  // --- message drops + retransmission -----------------------------------
+  /// Probability that one transmission attempt is dropped. Each drop costs
+  /// retransmit_timeout_us plus a full reserialization on the hop.
+  double drop_prob = 0;
+  /// Sender-side timeout before a dropped attempt is retransmitted.
+  double retransmit_timeout_us = 20.0;
+  /// Upper bound on retransmissions per message-hop (keeps costs finite).
+  int max_retransmits = 8;
+
+  // --- origin-side retry backoff (atomics / gets under drops) -----------
+  /// First backoff step charged by retry-aware callers per observed drop;
+  /// doubles per drop up to backoff_cap_us. 0 disables backoff accounting.
+  double backoff_base_us = 0;
+  double backoff_cap_us = 200.0;
+
+  // --- per-rank compute stragglers ---------------------------------------
+  /// Probability that a rank is a straggler (drawn once per rank from the
+  /// seed, not per run — a given rank is consistently slow or consistently
+  /// healthy for one seed).
+  double straggler_prob = 0;
+  /// Compute-time multiplier applied to straggler ranks (>= 1).
+  double straggler_factor = 1.5;
+
+  /// True when any fault dimension is active.
+  [[nodiscard]] bool enabled() const {
+    return latency_jitter_us > 0 || (bw_degrade_frac > 0 && bw_degrade_duty > 0)
+           || outage_prob > 0 || drop_prob > 0 || straggler_prob > 0;
+  }
+
+  /// Preset spec scaling every dimension with one knob in [0, 1]
+  /// (0 = pristine fabric, 1 = heavily degraded). Used by the fault sweep
+  /// bench and `msgroof_cli --faults`.
+  static FaultSpec at_intensity(double intensity, std::uint64_t seed);
+};
+
+/// Per-fabric fault state: the spec plus per-directed-link message ordinals.
+/// Owned by the Fabric; reset together with fabric contention state so
+/// repeated engine runs replay identical fault sequences.
+class FaultModel {
+ public:
+  FaultModel(const FaultSpec& spec, int num_dlinks);
+
+  /// Perturbation applied to one message crossing one directed link.
+  struct HopFault {
+    double extra_latency_us = 0;  ///< jitter + outage stall on the head
+    double bw_scale = 1.0;        ///< lane bandwidth multiplier (0..1]
+    int drops = 0;                ///< dropped transmission attempts
+  };
+
+  /// Samples (and consumes the ordinal of) the fault for the next message on
+  /// `dlink` whose head reaches the link at virtual time `head_us`.
+  /// Returns a neutral HopFault — and consumes nothing — when disabled.
+  HopFault next_hop_fault(int dlink, TimeUs head_us);
+
+  /// Total origin-side exponential backoff charged for `drops` observed
+  /// drops: sum of min(backoff_base * 2^k, backoff_cap). Pure.
+  [[nodiscard]] double backoff_us(int drops) const;
+
+  /// Compute-time multiplier for `rank` (1.0 unless the rank is a
+  /// straggler). Stateless: keyed by (seed, rank) only.
+  [[nodiscard]] double straggler_scale(int rank) const;
+
+  /// Clears the per-link ordinals (called by Fabric::reset()).
+  void reset();
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  FaultSpec spec_;
+  bool enabled_ = false;
+  std::vector<std::uint64_t> ordinal_;  ///< per directed link, reset per run
+};
+
+}  // namespace mrl::simnet

@@ -68,7 +68,7 @@ double Platform::pair_peak_gbs(int rank_a, int rank_b, int nranks) const {
 
 std::unique_ptr<Fabric> Platform::make_fabric() const {
   return std::make_unique<Fabric>(topo_.get(), route_mode_, local_bw_gbs_,
-                                  local_latency_us_);
+                                  local_latency_us_, faults_);
 }
 
 // ---------------------------------------------------------------------------

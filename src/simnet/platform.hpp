@@ -77,6 +77,12 @@ class Platform {
   [[nodiscard]] RouteMode route_mode() const { return route_mode_; }
   void set_route_mode(RouteMode m) { route_mode_ = m; }
 
+  /// Fault-injection spec baked into fabrics built by make_fabric(). The
+  /// default (empty) spec keeps the fabric bit-identical to a fault-free
+  /// build.
+  [[nodiscard]] const FaultSpec& faults() const { return faults_; }
+  void set_faults(const FaultSpec& f) { faults_ = f; }
+
   [[nodiscard]] const LogGP& params(Runtime r) const;
   [[nodiscard]] LogGP& mutable_params(Runtime r);
 
@@ -128,6 +134,7 @@ class Platform {
   double local_bw_gbs_ = 20.0;
   double local_latency_us_ = 0.3;
   double rank_pump_gbs_ = 0.0;
+  FaultSpec faults_;
   PlatformInfo info_;
 };
 

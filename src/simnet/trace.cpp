@@ -37,6 +37,7 @@ TraceSummary summarize_records(const std::vector<const MsgRecord*>& recs) {
     last_arrival = std::max(last_arrival, r->t_arrival);
     s.min_msg_bytes = std::min(s.min_msg_bytes, static_cast<double>(r->bytes));
     s.max_msg_bytes = std::max(s.max_msg_bytes, static_cast<double>(r->bytes));
+    s.total_drops += static_cast<std::uint64_t>(r->drops);
     epochs.insert({r->src_rank, r->epoch});
   }
   s.num_epochs = epochs.size();

@@ -31,6 +31,7 @@ struct MsgRecord {
   TimeUs t_arrival = 0;  ///< virtual time the payload landed at dst
   OpKind kind = OpKind::kSend;
   std::uint64_t epoch = 0;  ///< sender-side synchronization epoch
+  std::int32_t drops = 0;   ///< fault-injected transmission drops (retransmitted)
 };
 
 /// Aggregate view of a trace used by the roofline overlays.
@@ -45,6 +46,7 @@ struct TraceSummary {
   double max_msg_bytes = 0;
   double span_us = 0;             ///< last arrival - first issue
   double sustained_gbs = 0;       ///< total bytes / span
+  std::uint64_t total_drops = 0;  ///< fault-injected drops across messages
 };
 
 /// Append-only trace. The engine serializes all recording, so no locking.

@@ -11,12 +11,12 @@ namespace mrl::simnet {
 void export_trace_csv(const Trace& trace, std::ostream& os) {
   CsvWriter w(os);
   w.header({"src", "dst", "bytes", "kind", "epoch", "t_issue_us",
-            "t_arrival_us"});
+            "t_arrival_us", "drops"});
   for (const MsgRecord& r : trace.records()) {
     w.row({std::to_string(r.src_rank), std::to_string(r.dst_rank),
            std::to_string(r.bytes), to_string(r.kind),
            std::to_string(r.epoch), std::to_string(r.t_issue),
-           std::to_string(r.t_arrival)});
+           std::to_string(r.t_arrival), std::to_string(r.drops)});
   }
 }
 
@@ -42,7 +42,7 @@ void export_trace_chrome(const Trace& trace, std::ostream& os) {
        << ",\"ts\":" << r.t_issue
        << ",\"dur\":" << (r.t_arrival - r.t_issue)
        << ",\"args\":{\"bytes\":" << r.bytes << ",\"epoch\":" << r.epoch
-       << ",\"dst\":" << r.dst_rank << "}}";
+       << ",\"dst\":" << r.dst_rank << ",\"drops\":" << r.drops << "}}";
   }
   os << "]}";
 }

@@ -28,16 +28,30 @@ void CsvWriter::row(const std::vector<std::string>& fields) {
   os_ << '\n';
 }
 
-bool write_csv_file(const std::string& path,
-                    const std::vector<std::vector<std::string>>& rows) {
+Status write_csv_file(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows) {
   std::ofstream f(path);
   if (!f) {
     MRL_LOG_WARN("cannot open CSV file for writing: %s", path.c_str());
-    return false;
+    return Status(ErrorCode::kNotFound,
+                  "cannot open CSV file for writing: " + path);
   }
   CsvWriter w(f);
-  for (const auto& r : rows) w.row(r);
-  return f.good();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    w.row(rows[i]);
+    if (!f.good()) {
+      MRL_LOG_WARN("CSV write failed (disk full?): %s", path.c_str());
+      return Status(ErrorCode::kInternal,
+                    "CSV write failed at row " + std::to_string(i) + " of " +
+                        path + " (disk full?)");
+    }
+  }
+  f.flush();
+  if (!f.good()) {
+    MRL_LOG_WARN("CSV flush failed: %s", path.c_str());
+    return Status(ErrorCode::kInternal, "CSV flush failed for " + path);
+  }
+  return Status::ok();
 }
 
 }  // namespace mrl

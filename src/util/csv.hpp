@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace mrl {
 
 /// Streaming CSV writer with RFC-4180-style quoting.
@@ -26,8 +28,10 @@ class CsvWriter {
   std::ostream& os_;
 };
 
-/// Writes rows to a file; returns false (and logs) on I/O failure.
-bool write_csv_file(const std::string& path,
-                    const std::vector<std::vector<std::string>>& rows);
+/// Writes rows to a file. Stream state is checked after every row and after
+/// the final flush, so a full disk or unwritable path surfaces as an error
+/// Status (with the failing path) instead of silently dropping rows.
+Status write_csv_file(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows);
 
 }  // namespace mrl

@@ -22,6 +22,7 @@ enum class ErrorCode {
   kFailedPrecondition,
   kOutOfRange,
   kDeadlock,
+  kTimeout,
   kNotFound,
   kInternal,
 };
@@ -34,11 +35,22 @@ constexpr std::string_view to_string(ErrorCode c) {
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
     case ErrorCode::kDeadlock: return "DEADLOCK";
+    case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kNotFound: return "NOT_FOUND";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";
 }
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "MRL_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace detail
 
 /// A status: OK or an error code plus message. Cheap to copy when OK.
 class Status {
@@ -78,28 +90,36 @@ class Result {
   [[nodiscard]] bool is_ok() const { return value_.has_value(); }
   [[nodiscard]] const Status& status() const { return status_; }
 
-  [[nodiscard]] T& value() & { return *value_; }
-  [[nodiscard]] const T& value() const& { return *value_; }
-  [[nodiscard]] T&& value() && { return std::move(*value_); }
+  [[nodiscard]] T& value() & {
+    check_has_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    check_has_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    check_has_value();
+    return std::move(*value_);
+  }
 
   [[nodiscard]] T value_or(T fallback) const {
     return value_ ? *value_ : std::move(fallback);
   }
 
  private:
+  // Accessing value() on an error Result is a programming error: abort with
+  // the carried status instead of dereferencing an empty optional.
+  void check_has_value() const {
+    if (!value_.has_value()) {
+      detail::check_failed("Result::value()", __FILE__, __LINE__,
+                           status_.message().c_str());
+    }
+  }
+
   std::optional<T> value_;
   Status status_;
 };
-
-namespace detail {
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const char* msg) {
-  std::fprintf(stderr, "MRL_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] ? " — " : "", msg);
-  std::fflush(stderr);
-  std::abort();
-}
-}  // namespace detail
 
 }  // namespace mrl
 

@@ -132,7 +132,7 @@ TEST(Sweep, BandwidthGrowsWithMsgsPerSyncSmallMessages) {
   cfg.msg_sizes = {64};
   cfg.msgs_per_sync = {1, 10, 100};
   cfg.iters = 4;
-  const auto pts = run_sweep(simnet::Platform::perlmutter_cpu(), cfg);
+  const auto pts = run_sweep(simnet::Platform::perlmutter_cpu(), cfg).value();
   ASSERT_EQ(pts.size(), 3u);
   EXPECT_LT(pts[0].measured_gbs, pts[1].measured_gbs);
   EXPECT_LT(pts[1].measured_gbs, pts[2].measured_gbs);
@@ -144,7 +144,7 @@ TEST(Sweep, LargeMessagesReachPlatformCeiling) {
   cfg.msg_sizes = {4 << 20};
   cfg.msgs_per_sync = {16};
   cfg.iters = 2;
-  const auto pts = run_sweep(simnet::Platform::perlmutter_cpu(), cfg);
+  const auto pts = run_sweep(simnet::Platform::perlmutter_cpu(), cfg).value();
   ASSERT_EQ(pts.size(), 1u);
   EXPECT_GT(pts[0].measured_gbs, 25.0);
   EXPECT_LE(pts[0].measured_gbs, 32.5);
@@ -159,8 +159,8 @@ TEST(Sweep, OneSidedBeatsTwoSidedAtHighConcurrencyOnPerlmutter) {
   SweepConfig one = two;
   one.kind = SweepKind::kOneSidedMpi;
   const auto p = simnet::Platform::perlmutter_cpu();
-  const double bw2 = run_sweep(p, two)[0].measured_gbs;
-  const double bw1 = run_sweep(p, one)[0].measured_gbs;
+  const double bw2 = run_sweep(p, two).value()[0].measured_gbs;
+  const double bw1 = run_sweep(p, one).value()[0].measured_gbs;
   EXPECT_GT(bw1, bw2);
 }
 
@@ -173,8 +173,8 @@ TEST(Sweep, OneSidedLosesOnSummitSpectrumMpi) {
   SweepConfig one = two;
   one.kind = SweepKind::kOneSidedMpi;
   const auto p = simnet::Platform::summit_cpu();
-  const auto pts2 = run_sweep(p, two);
-  const auto pts1 = run_sweep(p, one);
+  const auto pts2 = run_sweep(p, two).value();
+  const auto pts1 = run_sweep(p, one).value();
   for (std::size_t i = 0; i < pts2.size(); ++i) {
     EXPECT_LT(pts1[i].measured_gbs, pts2[i].measured_gbs) << i;
   }
@@ -247,9 +247,9 @@ TEST(Parallel, SweepJobs4BitIdenticalToJobs1) {
   const auto plat = simnet::Platform::perlmutter_cpu();
 
   cfg.jobs = 1;
-  const auto seq = run_sweep(plat, cfg);
+  const auto seq = run_sweep(plat, cfg).value();
   cfg.jobs = 4;
-  const auto par = run_sweep(plat, cfg);
+  const auto par = run_sweep(plat, cfg).value();
 
   ASSERT_EQ(seq.size(), par.size());
   for (std::size_t i = 0; i < seq.size(); ++i) {
@@ -272,10 +272,10 @@ TEST(Parallel, SweepParityAcrossKindsAndJobCounts) {
     cfg.msgs_per_sync = {1, 100};
     cfg.iters = 2;
     cfg.jobs = 1;
-    const auto seq = run_sweep(plat, cfg);
+    const auto seq = run_sweep(plat, cfg).value();
     for (int jobs : {2, 7}) {
       cfg.jobs = jobs;
-      const auto par = run_sweep(plat, cfg);
+      const auto par = run_sweep(plat, cfg).value();
       ASSERT_EQ(seq.size(), par.size());
       for (std::size_t i = 0; i < seq.size(); ++i) {
         EXPECT_EQ(seq[i].measured_gbs, par[i].measured_gbs)
@@ -290,9 +290,9 @@ TEST(Parallel, SweepParityAcrossKindsAndJobCounts) {
 TEST(Parallel, CalibrateRooflineJobs4IdenticalToJobs1) {
   const auto plat = simnet::Platform::frontier_cpu();
   const RooflineParams seq =
-      calibrate_roofline(plat, SweepKind::kOneSidedMpi, 1);
+      calibrate_roofline(plat, SweepKind::kOneSidedMpi, 1).value();
   const RooflineParams par =
-      calibrate_roofline(plat, SweepKind::kOneSidedMpi, 4);
+      calibrate_roofline(plat, SweepKind::kOneSidedMpi, 4).value();
   EXPECT_EQ(seq.o_us, par.o_us);
   EXPECT_EQ(seq.L_us, par.L_us);
   EXPECT_EQ(seq.peak_gbs, par.peak_gbs);
@@ -312,7 +312,7 @@ TEST(Parallel, SweepSpeedupWithJobs4OnMultiCoreHosts) {
   const auto time_once = [&](int jobs) {
     cfg.jobs = jobs;
     const auto t0 = std::chrono::steady_clock::now();
-    const auto pts = run_sweep(plat, cfg);
+    const auto pts = run_sweep(plat, cfg).value();
     const auto t1 = std::chrono::steady_clock::now();
     EXPECT_EQ(pts.size(), cfg.msg_sizes.size() * cfg.msgs_per_sync.size());
     return std::chrono::duration<double>(t1 - t0).count();
@@ -370,6 +370,64 @@ TEST(Plot, RendersLogLogScatter) {
   const std::string out = p.render();
   EXPECT_NE(out.find("[*] s"), std::string::npos);
   EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+// --- fault-injected sweeps ------------------------------------------------
+
+TEST(FaultSweep, ZeroIntensitySpecIsBitIdenticalToPristine) {
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kTwoSided;
+  cfg.msg_sizes = {64, 4096, 262144};
+  cfg.msgs_per_sync = {1, 100};
+  cfg.iters = 2;
+  const auto pristine =
+      run_sweep(simnet::Platform::perlmutter_cpu(), cfg).value();
+  simnet::Platform plat = simnet::Platform::perlmutter_cpu();
+  plat.set_faults(simnet::FaultSpec::at_intensity(0.0, 123));
+  const auto zero = run_sweep(plat, cfg).value();
+  ASSERT_EQ(pristine.size(), zero.size());
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    EXPECT_EQ(pristine[i].measured_gbs, zero[i].measured_gbs) << i;
+    EXPECT_EQ(pristine[i].eff_latency_us, zero[i].eff_latency_us) << i;
+  }
+}
+
+TEST(FaultSweep, Jobs4BitIdenticalToJobs1UnderFaults) {
+  // The fault layer keys every draw by (seed, link, ordinal), and the engine
+  // serializes fabric access in virtual-time order — so even a degraded
+  // sweep must be byte-reproducible across worker counts.
+  simnet::Platform plat = simnet::Platform::perlmutter_cpu();
+  plat.set_faults(simnet::FaultSpec::at_intensity(0.6, 2026));
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kOneSidedMpi;
+  cfg.msg_sizes = {64, 4096, 262144};
+  cfg.msgs_per_sync = {1, 10, 100};
+  cfg.iters = 3;
+  cfg.jobs = 1;
+  const auto seq = run_sweep(plat, cfg).value();
+  cfg.jobs = 4;
+  const auto par = run_sweep(plat, cfg).value();
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].measured_gbs, par[i].measured_gbs) << i;
+    EXPECT_EQ(seq[i].eff_latency_us, par[i].eff_latency_us) << i;
+  }
+}
+
+TEST(FaultSweep, IntensityInflatesEffectiveLatency) {
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kTwoSided;
+  cfg.msg_sizes = {4096};
+  cfg.msgs_per_sync = {10};
+  cfg.iters = 2;
+  const auto base = run_sweep(simnet::Platform::perlmutter_cpu(), cfg).value();
+  simnet::Platform plat = simnet::Platform::perlmutter_cpu();
+  plat.set_faults(simnet::FaultSpec::at_intensity(0.8, 31337));
+  const auto degraded = run_sweep(plat, cfg).value();
+  ASSERT_EQ(base.size(), 1u);
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_GT(degraded[0].eff_latency_us, base[0].eff_latency_us);
+  EXPECT_LT(degraded[0].measured_gbs, base[0].measured_gbs);
 }
 
 }  // namespace

@@ -169,7 +169,7 @@ TEST_P(Calibration, FittedParametersTrackConfiguredLogGP) {
       simnet::Platform::all()[static_cast<std::size_t>(GetParam().plat_idx)];
   core::SweepConfig cfg = core::SweepConfig::defaults(GetParam().kind);
   cfg.iters = 3;
-  const auto pts = core::run_sweep(plat, cfg);
+  const auto pts = core::run_sweep(plat, cfg).value();
   const auto fit = core::fit_roofline(pts);
   // The fit must land in the physical ballpark of the platform: overhead
   // within [0.3x, 4x] of the configured o, peak within [0.5x, 1.5x] of the

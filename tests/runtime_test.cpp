@@ -316,5 +316,84 @@ TEST(Engine, EpochBumpTracked) {
   ASSERT_TRUE(r.ok());
 }
 
+TEST(Engine, WatchdogConvertsLivelockToTimeout) {
+  // A rank that keeps making virtual-time "progress" without ever reaching
+  // its wait condition is a livelock the deadlock detector cannot see: the
+  // rank is always runnable. The watchdog caps virtual time instead.
+  EngineOptions opt;
+  opt.watchdog_virtual_us = 500.0;
+  Engine eng(plat(), 2, opt);
+  const RunResult r = eng.run([&](Rank& rank) {
+    for (;;) {
+      rank.advance(10.0);
+      eng.perform(rank, [] {});  // retry loop: spins forever
+    }
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kTimeout);
+  EXPECT_NE(r.status.message().find("watchdog"), std::string::npos)
+      << r.status.message();
+  // Diagnostics name the per-rank clocks.
+  EXPECT_NE(r.status.message().find("rank 0"), std::string::npos)
+      << r.status.message();
+}
+
+TEST(Engine, WatchdogAlsoTripsInsideWaits) {
+  EngineOptions opt;
+  opt.watchdog_virtual_us = 200.0;
+  Engine eng(plat(), 2, opt);
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      // Waits that keep resolving a little further in the future: never
+      // blocked (no deadlock), never done.
+      for (;;) {
+        const double target = rank.now() + 50.0;
+        eng.wait(rank, "chasing-horizon",
+                 [target]() -> std::optional<double> { return target; });
+      }
+    }
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kTimeout);
+}
+
+TEST(Engine, CleanRunAfterWatchdogTimeout) {
+  EngineOptions opt;
+  opt.watchdog_virtual_us = 300.0;
+  Engine eng(plat(), 2, opt);
+  const RunResult bad = eng.run([&](Rank& rank) {
+    for (;;) {
+      rank.advance(25.0);
+      eng.perform(rank, [] {});
+    }
+  });
+  ASSERT_EQ(bad.status.code(), ErrorCode::kTimeout);
+  // The engine must stay usable, and a run that finishes under the limit
+  // must be untouched by the watchdog.
+  const RunResult good = eng.run([&](Rank& rank) {
+    rank.advance(100.0);
+    eng.perform(rank, [] {});
+  });
+  ASSERT_TRUE(good.ok());
+  EXPECT_DOUBLE_EQ(good.makespan_us, 100.0);
+}
+
+TEST(Engine, StragglerScalesComputeNotWaits) {
+  // With a straggler_prob of 1 every rank is a straggler; compute_scale()
+  // must reflect the factor while plain advance() stays unscaled.
+  simnet::Platform p = plat();
+  simnet::FaultSpec spec;
+  spec.straggler_prob = 1.0;
+  spec.straggler_factor = 3.0;
+  p.set_faults(spec);
+  Engine eng(p, 2);
+  const RunResult r = eng.run([&](Rank& rank) {
+    EXPECT_DOUBLE_EQ(rank.compute_scale(), 3.0);
+    rank.advance(10.0);  // absolute virtual time: not scaled
+    EXPECT_DOUBLE_EQ(rank.now(), 10.0);
+  });
+  ASSERT_TRUE(r.ok());
+}
+
 }  // namespace
 }  // namespace mrl::runtime

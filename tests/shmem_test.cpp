@@ -326,5 +326,65 @@ TEST(Shmem, HeapExhaustionAborts) {
       "heap exhausted");
 }
 
+TEST(Shmem, CasRetrySpinUnderDropsTripsWatchdog) {
+  // A CAS spin-loop that can never succeed (the expected value is never
+  // stored) is a livelock, not a deadlock: each retry makes virtual-time
+  // progress, amplified by drop-retransmit backoff. The engine's watchdog
+  // must convert it into a diagnosable Status instead of hanging the test.
+  simnet::Platform plat = simnet::Platform::perlmutter_gpu();
+  simnet::FaultSpec spec;
+  spec.seed = 42;
+  spec.drop_prob = 0.3;
+  spec.retransmit_timeout_us = 20.0;
+  spec.backoff_base_us = 5.0;
+  plat.set_faults(spec);
+  runtime::EngineOptions opt;
+  opt.watchdog_virtual_us = 50000.0;
+  Engine eng(plat, 2, opt);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto word = s.allocate<std::uint64_t>(1);
+    s.barrier_all();
+    if (s.pe() == 0) {
+      while (s.atomic_compare_swap(word, 42, 9, 1) != 42) {
+        // never succeeds: *word stays 0 forever
+      }
+    }
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kTimeout);
+  EXPECT_NE(r.status.message().find("watchdog"), std::string::npos)
+      << r.status.message();
+}
+
+TEST(Shmem, DropsChargeBackoffOnAtomics) {
+  // Same program, pristine vs drop-degraded fabric: the degraded run's
+  // virtual completion time must be strictly larger (drops are pure cost).
+  const auto run_once = [](bool faults) {
+    simnet::Platform plat = simnet::Platform::perlmutter_gpu();
+    if (faults) {
+      simnet::FaultSpec spec;
+      spec.seed = 7;
+      spec.drop_prob = 0.4;
+      spec.retransmit_timeout_us = 25.0;
+      spec.backoff_base_us = 10.0;
+      plat.set_faults(spec);
+    }
+    Engine eng(plat, 2);
+    const auto r = World::run(eng, [](Ctx& s) {
+      auto word = s.allocate<std::uint64_t>(1);
+      s.barrier_all();
+      if (s.pe() == 0) {
+        for (int i = 0; i < 32; ++i) s.atomic_fetch_add(word, 1, 1);
+      }
+      s.barrier_all();
+    });
+    EXPECT_TRUE(r.ok());
+    return r.makespan_us;
+  };
+  const double pristine = run_once(false);
+  const double degraded = run_once(true);
+  EXPECT_GT(degraded, pristine);
+}
+
 }  // namespace
 }  // namespace mrl::shmem

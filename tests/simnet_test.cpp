@@ -1,7 +1,10 @@
 // simnet: links, topology/routing, fabric cost arithmetic, platforms, trace.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "simnet/fabric.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/topology.hpp"
 #include "simnet/trace.hpp"
@@ -273,6 +276,118 @@ TEST(Trace, DisabledTraceRecordsNothing) {
   Trace tr;
   tr.record({0, 1, 100, 0.0, 1.0, OpKind::kPut, 0});
   EXPECT_TRUE(tr.records().empty());
+}
+
+// --- fault injection ------------------------------------------------------
+
+TEST(Fault, DefaultSpecIsBitIdenticalNoOp) {
+  // A fabric carrying a default (empty) FaultSpec must reproduce the exact
+  // arrival bits of a fabric built without one — this is the contract that
+  // keeps every pre-fault CSV byte-identical.
+  const Topology t = two_node_topo(/*channels=*/2);
+  Fabric plain(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  Fabric faulted(&t, RouteMode::kCutThrough, 20.0, 0.1, FaultSpec{});
+  Fabric sf_plain(&t, RouteMode::kStoreForward, 20.0, 0.1);
+  Fabric sf_faulted(&t, RouteMode::kStoreForward, 20.0, 0.1, FaultSpec{});
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  for (int i = 0; i < 16; ++i) {
+    p.bytes = 64ull << i;
+    p.start_us = 0.37 * i;
+    const TransferResult a = plain.transfer(p);
+    const TransferResult b = faulted.transfer(p);
+    EXPECT_EQ(a.arrival_us, b.arrival_us) << i;  // bitwise, not NEAR
+    EXPECT_EQ(b.drops, 0) << i;
+    EXPECT_EQ(sf_plain.transfer(p).arrival_us,
+              sf_faulted.transfer(p).arrival_us)
+        << i;
+  }
+}
+
+TEST(Fault, HopFaultsAreSeededAndReplayable) {
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.latency_jitter_us = 2.0;
+  spec.drop_prob = 0.3;
+  FaultModel a(spec, /*num_dlinks=*/4);
+  FaultModel b(spec, /*num_dlinks=*/4);
+  std::vector<FaultModel::HopFault> seq;
+  for (int i = 0; i < 32; ++i) {
+    const auto fa = a.next_hop_fault(1, 10.0 * i);
+    const auto fb = b.next_hop_fault(1, 10.0 * i);
+    EXPECT_EQ(fa.extra_latency_us, fb.extra_latency_us) << i;
+    EXPECT_EQ(fa.drops, fb.drops) << i;
+    seq.push_back(fa);
+  }
+  // reset() rewinds the ordinals: the same sequence replays exactly.
+  a.reset();
+  for (int i = 0; i < 32; ++i) {
+    const auto fa = a.next_hop_fault(1, 10.0 * i);
+    EXPECT_EQ(fa.extra_latency_us, seq[static_cast<std::size_t>(i)]
+                                       .extra_latency_us)
+        << i;
+    EXPECT_EQ(fa.drops, seq[static_cast<std::size_t>(i)].drops) << i;
+  }
+  // A different link id draws from an independent substream.
+  FaultModel c(spec, 4);
+  bool any_differ = false;
+  for (int i = 0; i < 32; ++i) {
+    if (c.next_hop_fault(2, 10.0 * i).extra_latency_us !=
+        seq[static_cast<std::size_t>(i)].extra_latency_us) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Fault, FaultsOnlySlowTransfersDown) {
+  const Topology t = two_node_topo();
+  FaultSpec spec = FaultSpec::at_intensity(0.8, 77);
+  ASSERT_TRUE(spec.enabled());
+  Fabric pristine(&t, RouteMode::kCutThrough, 20.0, 0.1);
+  Fabric degraded(&t, RouteMode::kCutThrough, 20.0, 0.1, spec);
+  TransferParams p;
+  p.src_ep = 0;
+  p.dst_ep = 1;
+  bool any_slower = false;
+  for (int i = 0; i < 64; ++i) {
+    p.bytes = 1024 + 997 * i;
+    p.start_us = 3.1 * i;
+    const double t0 = pristine.transfer(p).arrival_us;
+    const double t1 = degraded.transfer(p).arrival_us;
+    EXPECT_GE(t1, t0) << i;  // faults never speed a message up
+    if (t1 > t0) any_slower = true;
+  }
+  EXPECT_TRUE(any_slower);
+}
+
+TEST(Fault, BackoffSumsExponentiallyWithCap) {
+  FaultSpec spec;
+  spec.drop_prob = 0.1;
+  spec.backoff_base_us = 10.0;
+  spec.backoff_cap_us = 35.0;
+  const FaultModel m(spec, 2);
+  EXPECT_DOUBLE_EQ(m.backoff_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.backoff_us(1), 10.0);
+  EXPECT_DOUBLE_EQ(m.backoff_us(2), 10.0 + 20.0);
+  EXPECT_DOUBLE_EQ(m.backoff_us(3), 10.0 + 20.0 + 35.0);  // capped
+}
+
+TEST(Fault, StragglerScaleIsStablePerRank) {
+  FaultSpec spec;
+  spec.straggler_prob = 0.5;
+  spec.straggler_factor = 2.0;
+  const FaultModel m(spec, 2);
+  int stragglers = 0;
+  for (int r = 0; r < 64; ++r) {
+    const double s = m.straggler_scale(r);
+    EXPECT_EQ(s, m.straggler_scale(r)) << r;  // stable across queries
+    EXPECT_TRUE(s == 1.0 || s == 2.0) << r;
+    if (s > 1.0) ++stragglers;
+  }
+  EXPECT_GT(stragglers, 8);   // ~half of 64 at prob 0.5
+  EXPECT_LT(stragglers, 56);
 }
 
 }  // namespace

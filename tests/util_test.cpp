@@ -1,6 +1,8 @@
 // util: stats, rng, units, table, csv, histogram.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "util/csv.hpp"
@@ -140,6 +142,26 @@ TEST(Csv, EscapesSpecialCharacters) {
   CsvWriter w(os);
   w.row({"a", "b,c"});
   EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+TEST(Csv, WriteToUnwritablePathSurfacesStatus) {
+  const Status st = write_csv_file("/nonexistent-dir-for-msgroof/x.csv",
+                                   {{"a", "b"}, {"1", "2"}});
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+  EXPECT_NE(st.message().find("x.csv"), std::string::npos) << st.message();
+}
+
+TEST(Csv, WriteToValidPathSucceeds) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "msgroof_csv_test.csv";
+  const Status st = write_csv_file(path, {{"h1", "h2"}, {"1", "2,3"}});
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "h1,h2\n1,\"2,3\"\n");
+  std::filesystem::remove(path);
 }
 
 TEST(Histogram, BucketsPowersOfTwo) {
