@@ -22,6 +22,7 @@
 #include "mpi/comm.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "runtime/engine.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/trace_export.hpp"
 #include "util/csv.hpp"
@@ -38,7 +39,7 @@ using namespace mrl;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: msgroof_cli [--faults I] [--fault-seed S] <command> [...]\n"
+      "usage: msgroof_cli [global flags] <command> [...]\n"
       "  platforms\n"
       "  sweep <platform> <runtime> [--csv out.csv] [--jobs N]\n"
       "  stencil <platform> <ranks> [n] [iters]\n"
@@ -52,7 +53,13 @@ using namespace mrl;
       "  --faults I      inject deterministic fabric faults at intensity I\n"
       "                  (0 = pristine, 1 = heavily degraded)\n"
       "  --fault-seed S  seed for the fault-injection substreams (default\n"
-      "                  0x5EEDF007); same seed => byte-identical output\n");
+      "                  0x5EEDF007); same seed => byte-identical output\n"
+      "  --backend B     rank execution backend: fibers (default; one OS\n"
+      "                  thread, user-level context switches) or threads\n"
+      "                  (one OS thread per rank); output is bit-identical\n"
+      "  --watchdog-us N virtual-time progress limit per run in us (default\n"
+      "                  1e9; 0 disables) — livelocked runs exit with a\n"
+      "                  TIMEOUT status instead of spinning forever\n");
   std::exit(2);
 }
 
@@ -263,14 +270,16 @@ int cmd_trace(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --faults / --fault-seed flags (valid before or after
-  // the command) so each command parser sees only its own arguments.
+  // Strip the global flags (valid before or after the command) so each
+  // command parser sees only its own arguments.
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--faults") == 0 ||
-        std::strcmp(arg, "--fault-seed") == 0) {
+        std::strcmp(arg, "--fault-seed") == 0 ||
+        std::strcmp(arg, "--backend") == 0 ||
+        std::strcmp(arg, "--watchdog-us") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", arg);
         usage();
@@ -283,13 +292,38 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "invalid --faults value '%s'\n", val);
           usage();
         }
-      } else {
+      } else if (std::strcmp(arg, "--fault-seed") == 0) {
         g_fault_seed =
             static_cast<std::uint64_t>(std::strtoull(val, &end, 0));
         if (end == val || *end != '\0') {
           std::fprintf(stderr, "invalid --fault-seed value '%s'\n", val);
           usage();
         }
+      } else if (std::strcmp(arg, "--backend") == 0) {
+        if (std::strcmp(val, "fibers") == 0) {
+          if (!runtime::fibers_supported()) {
+            std::fprintf(stderr,
+                         "--backend fibers is unavailable in this build "
+                         "(ThreadSanitizer); use --backend threads\n");
+            return 2;
+          }
+          runtime::set_default_backend(runtime::EngineBackend::kFibers);
+        } else if (std::strcmp(val, "threads") == 0) {
+          runtime::set_default_backend(runtime::EngineBackend::kThreads);
+        } else {
+          std::fprintf(stderr,
+                       "invalid --backend value '%s' (expected 'fibers' or "
+                       "'threads')\n",
+                       val);
+          usage();
+        }
+      } else {  // --watchdog-us
+        const double us = std::strtod(val, &end);
+        if (end == val || *end != '\0' || us < 0) {
+          std::fprintf(stderr, "invalid --watchdog-us value '%s'\n", val);
+          usage();
+        }
+        runtime::set_default_watchdog_virtual_us(us);
       }
       continue;
     }

@@ -7,11 +7,45 @@
 
 namespace mrl::runtime {
 
+namespace {
+
+std::atomic<EngineBackend> g_default_backend{EngineBackend::kFibers};
+std::atomic<double> g_default_watchdog_virtual_us{1e9};
+
+}  // namespace
+
+const char* to_string(EngineBackend b) {
+  return b == EngineBackend::kFibers ? "fibers" : "threads";
+}
+
+EngineBackend default_backend() {
+  const EngineBackend b = g_default_backend.load(std::memory_order_relaxed);
+  if (b == EngineBackend::kFibers && !fibers_supported()) {
+    return EngineBackend::kThreads;
+  }
+  return b;
+}
+
+void set_default_backend(EngineBackend b) {
+  g_default_backend.store(b, std::memory_order_relaxed);
+}
+
+double default_watchdog_virtual_us() {
+  return g_default_watchdog_virtual_us.load(std::memory_order_relaxed);
+}
+
+void set_default_watchdog_virtual_us(double us) {
+  g_default_watchdog_virtual_us.store(us, std::memory_order_relaxed);
+}
+
 Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
     : platform_(std::move(platform)), nranks_(nranks), opt_(opt) {
   MRL_CHECK(nranks_ >= 1);
   MRL_CHECK_MSG(nranks_ <= platform_.max_ranks(),
                 "more ranks than the platform can host");
+  if (opt_.backend == EngineBackend::kFibers && !fibers_supported()) {
+    opt_.backend = EngineBackend::kThreads;  // TSan build — see fiber.hpp
+  }
   fabric_ = platform_.make_fabric();
   trace_.set_enabled(opt_.trace);
   ranks_.reserve(static_cast<std::size_t>(nranks_));
@@ -33,11 +67,34 @@ Engine::~Engine() {
     for (auto& r : ranks_) r->cv_.notify_all();
   }
   for (auto& t : threads_) t.join();
+  // Fiber-backend contexts park suspended between runs; destroying them just
+  // unmaps their stacks (Fiber::~Fiber).
 }
 
 RunResult Engine::run(const std::function<void(Rank&)>& body) {
-  std::unique_lock lk(mu_);
-  MRL_CHECK_MSG(body_ == nullptr, "Engine::run is not reentrant");
+  if (running_.exchange(true)) {
+    // Called from inside a rank body (same thread on the fiber backend, a
+    // worker thread on the thread backend) or concurrently from another
+    // thread: either would corrupt the in-progress schedule.
+    RunResult res;
+    res.status = Status(ErrorCode::kInvalidArgument,
+                        "Engine::run is not reentrant: a run is already in "
+                        "progress on this engine");
+    return res;
+  }
+  RunResult res = opt_.backend == EngineBackend::kFibers ? run_fibers(body)
+                                                         : run_threads(body);
+  running_.store(false);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state machine, shared by both backends. "_locked" refers to the
+// thread backend's mu_ contract; on the fiber backend everything is naturally
+// serialized on one OS thread and the same functions run lock-free.
+// ---------------------------------------------------------------------------
+
+void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   if (opt_.reset_fabric_each_run) fabric_->reset();
   trace_.clear();
   ready_.clear();
@@ -59,6 +116,163 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   abort_reason_.clear();
   body_error_.clear();
   body_ = &body;
+}
+
+RunResult Engine::collect_result_locked() {
+  RunResult res;
+  res.rank_end_us.reserve(static_cast<std::size_t>(nranks_));
+  for (const auto& r : ranks_) {
+    res.rank_end_us.push_back(r->clock_);
+    res.makespan_us = std::max(res.makespan_us, r->clock_);
+  }
+  if (!body_error_.empty()) {
+    res.status = Status(ErrorCode::kInternal, body_error_);
+  } else if (abort_) {
+    res.status = Status(abort_code_, abort_reason_);
+  }
+  return res;
+}
+
+void Engine::set_state_locked(Rank& r, Rank::State s) {
+  if (r.state_ == s) return;
+  if (r.state_ == Rank::State::kReady) {
+    const auto it = std::find(ready_.begin(), ready_.end(), r.id_);
+    MRL_CHECK(it != ready_.end());
+    *it = ready_.back();
+    ready_.pop_back();
+  } else if (r.state_ == Rank::State::kBlocked) {
+    --blocked_count_;
+  }
+  r.state_ = s;
+  if (s == Rank::State::kReady) {
+    ready_.push_back(r.id_);
+  } else if (s == Rank::State::kBlocked) {
+    ++blocked_count_;
+  }
+}
+
+int Engine::pick_min_ready_locked() const {
+  // Min (wake, id) over the incrementally maintained ready list — for the
+  // dominant 2-rank sweeps this inspects one or two entries, never all
+  // ranks. Ties break toward the lowest rank id (deterministic order).
+  int best = -1;
+  simnet::TimeUs best_wake = 0;
+  for (const int id : ready_) {
+    const Rank& r = *ranks_[static_cast<std::size_t>(id)];
+    if (best == -1 || r.wake_ < best_wake ||
+        (r.wake_ == best_wake && id < best)) {
+      best = id;
+      best_wake = r.wake_;
+    }
+  }
+  return best;
+}
+
+void Engine::note_deadlock_locked() {
+  std::ostringstream os;
+  os << "deadlock: all live ranks are blocked —";
+  for (const auto& r : ranks_) {
+    if (r->state_ == Rank::State::kBlocked) {
+      os << " rank " << r->id_ << " waiting on [" << r->what_ << "] at t="
+         << r->clock_ << "us;";
+    }
+  }
+  abort_ = true;
+  abort_reason_ = os.str();
+  MRL_LOG_ERROR("%s", abort_reason_.c_str());
+}
+
+void Engine::note_body_error_locked(int id, const char* what) {
+  if (body_error_.empty()) {
+    body_error_ = what != nullptr
+                      ? "rank " + std::to_string(id) + " threw: " + what
+                      : "rank " + std::to_string(id) +
+                            " threw unknown exception";
+  }
+  abort_ = true;
+  abort_reason_ = body_error_;
+}
+
+void Engine::wake_satisfied_locked() {
+  // Re-queue satisfiable waiters without resuming them: the wake hint
+  // becomes their scheduling priority, and they run if and when they are
+  // actually granted the baton.
+  if (blocked_count_ == 0) return;
+  int remaining = blocked_count_;
+  for (auto& r : ranks_) {
+    if (remaining == 0) break;
+    if (r->state_ != Rank::State::kBlocked) continue;
+    --remaining;
+    MRL_CHECK(r->cond_ != nullptr);
+    if (auto w = (*r->cond_)()) {
+      r->wake_ = std::max(r->clock_, *w);
+      set_state_locked(*r, Rank::State::kReady);
+    }
+  }
+}
+
+void Engine::check_abort_locked(const Rank&) const {
+  if (abort_) throw AbortException{};
+}
+
+void Engine::check_watchdog_locked(const Rank& r) {
+  if (opt_.watchdog_virtual_us <= 0 || r.clock_ < opt_.watchdog_virtual_us) {
+    return;
+  }
+  // Livelock: the rank keeps making communication calls but its virtual
+  // clock has run past any plausible completion time. Convert the run into
+  // a diagnosable timeout instead of spinning forever.
+  std::ostringstream os;
+  os << "progress watchdog: rank " << r.id_ << " passed the virtual-time "
+     << "limit (" << opt_.watchdog_virtual_us << "us) —";
+  for (const auto& other : ranks_) {
+    os << " rank " << other->id_ << " at t=" << other->clock_ << "us";
+    switch (other->state_) {
+      case Rank::State::kBlocked:
+        os << " [blocked on " << other->what_ << "]";
+        break;
+      case Rank::State::kDone: os << " [done]"; break;
+      default: os << " [runnable]"; break;
+    }
+    os << ";";
+  }
+  abort_ = true;
+  abort_code_ = ErrorCode::kTimeout;
+  abort_reason_ = os.str();
+  MRL_LOG_ERROR("%s", abort_reason_.c_str());
+  for (auto& other : ranks_) other->cv_.notify_all();  // thread backend
+  throw AbortException{};
+}
+
+// ---------------------------------------------------------------------------
+// Public protocol: dispatch on the backend chosen at construction.
+// ---------------------------------------------------------------------------
+
+void Engine::perform(Rank& r, const std::function<void()>& fn) {
+  if (opt_.backend == EngineBackend::kFibers) {
+    fiber_perform(r, fn);
+  } else {
+    thread_perform(r, fn);
+  }
+}
+
+void Engine::wait(Rank& r, const char* what,
+                  const std::function<std::optional<double>()>& cond,
+                  const std::function<void()>& finalize) {
+  if (opt_.backend == EngineBackend::kFibers) {
+    fiber_wait(r, what, cond, finalize);
+  } else {
+    thread_wait(r, what, cond, finalize);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread backend: one parked OS thread per rank, mutex/condvar baton.
+// ---------------------------------------------------------------------------
+
+RunResult Engine::run_threads(const std::function<void(Rank&)>& body) {
+  std::unique_lock lk(mu_);
+  reset_run_state_locked(body);
   ++run_gen_;
 
   if (threads_.empty()) {
@@ -73,19 +287,7 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   schedule_locked();  // grant the first baton
   while (done_count_ != nranks_) run_cv_.wait(lk);
   body_ = nullptr;
-
-  RunResult res;
-  res.rank_end_us.reserve(static_cast<std::size_t>(nranks_));
-  for (const auto& r : ranks_) {
-    res.rank_end_us.push_back(r->clock_);
-    res.makespan_us = std::max(res.makespan_us, r->clock_);
-  }
-  if (!body_error_.empty()) {
-    res.status = Status(ErrorCode::kInternal, body_error_);
-  } else if (abort_) {
-    res.status = Status(abort_code_, abort_reason_);
-  }
-  return res;
+  return collect_result_locked();
 }
 
 void Engine::worker_main(int id) {
@@ -121,19 +323,10 @@ void Engine::rank_main(int id) {
     // Engine-initiated unwind (deadlock elsewhere); nothing to record.
   } catch (const std::exception& e) {
     std::lock_guard lk(mu_);
-    if (body_error_.empty()) {
-      body_error_ =
-          "rank " + std::to_string(id) + " threw: " + std::string(e.what());
-    }
-    abort_ = true;
-    abort_reason_ = body_error_;
+    note_body_error_locked(id, e.what());
   } catch (...) {
     std::lock_guard lk(mu_);
-    if (body_error_.empty()) {
-      body_error_ = "rank " + std::to_string(id) + " threw unknown exception";
-    }
-    abort_ = true;
-    abort_reason_ = body_error_;
+    note_body_error_locked(id, nullptr);
   }
   {
     std::lock_guard lk(mu_);
@@ -150,75 +343,12 @@ void Engine::rank_main(int id) {
   }
 }
 
-void Engine::check_abort_locked(const Rank&) const {
-  if (abort_) throw AbortException{};
-}
-
-void Engine::check_watchdog_locked(const Rank& r) {
-  if (opt_.watchdog_virtual_us <= 0 || r.clock_ < opt_.watchdog_virtual_us) {
-    return;
-  }
-  // Livelock: the rank keeps making communication calls but its virtual
-  // clock has run past any plausible completion time. Convert the run into
-  // a diagnosable timeout instead of spinning forever.
-  std::ostringstream os;
-  os << "progress watchdog: rank " << r.id_ << " passed the virtual-time "
-     << "limit (" << opt_.watchdog_virtual_us << "us) —";
-  for (const auto& other : ranks_) {
-    os << " rank " << other->id_ << " at t=" << other->clock_ << "us";
-    switch (other->state_) {
-      case Rank::State::kBlocked:
-        os << " [blocked on " << other->what_ << "]";
-        break;
-      case Rank::State::kDone: os << " [done]"; break;
-      default: os << " [runnable]"; break;
-    }
-    os << ";";
-  }
-  abort_ = true;
-  abort_code_ = ErrorCode::kTimeout;
-  abort_reason_ = os.str();
-  MRL_LOG_ERROR("%s", abort_reason_.c_str());
-  for (auto& other : ranks_) other->cv_.notify_all();
-  throw AbortException{};
-}
-
-void Engine::set_state_locked(Rank& r, Rank::State s) {
-  if (r.state_ == s) return;
-  if (r.state_ == Rank::State::kReady) {
-    const auto it = std::find(ready_.begin(), ready_.end(), r.id_);
-    MRL_CHECK(it != ready_.end());
-    *it = ready_.back();
-    ready_.pop_back();
-  } else if (r.state_ == Rank::State::kBlocked) {
-    --blocked_count_;
-  }
-  r.state_ = s;
-  if (s == Rank::State::kReady) {
-    ready_.push_back(r.id_);
-  } else if (s == Rank::State::kBlocked) {
-    ++blocked_count_;
-  }
-}
-
 void Engine::schedule_locked() {
   if (abort_) {
     for (auto& r : ranks_) r->cv_.notify_all();
     return;
   }
-  // Min (wake, id) over the incrementally maintained ready list — for the
-  // dominant 2-rank sweeps this inspects one or two entries, never all
-  // ranks. Ties break toward the lowest rank id (deterministic order).
-  int best = -1;
-  simnet::TimeUs best_wake = 0;
-  for (const int id : ready_) {
-    const Rank& r = *ranks_[static_cast<std::size_t>(id)];
-    if (best == -1 || r.wake_ < best_wake ||
-        (r.wake_ == best_wake && id < best)) {
-      best = id;
-      best_wake = r.wake_;
-    }
-  }
+  const int best = pick_min_ready_locked();
   if (best != -1) {
     granted_ = best;
     // Targeted handoff: only the granted rank's thread is woken.
@@ -227,40 +357,12 @@ void Engine::schedule_locked() {
   }
   // No runnable rank. If anyone is still blocked, that's a deadlock.
   if (done_count_ < nranks_) {
-    std::ostringstream os;
-    os << "deadlock: all live ranks are blocked —";
-    for (const auto& r : ranks_) {
-      if (r->state_ == Rank::State::kBlocked) {
-        os << " rank " << r->id_ << " waiting on [" << r->what_ << "] at t="
-           << r->clock_ << "us;";
-      }
-    }
-    abort_ = true;
-    abort_reason_ = os.str();
-    MRL_LOG_ERROR("%s", abort_reason_.c_str());
+    note_deadlock_locked();
     for (auto& r : ranks_) r->cv_.notify_all();
   }
 }
 
-void Engine::wake_satisfied_locked() {
-  // Re-queue satisfiable waiters without waking their threads: the wake hint
-  // becomes their scheduling priority, and schedule_locked() signals them
-  // if and when they are actually granted the baton.
-  if (blocked_count_ == 0) return;
-  int remaining = blocked_count_;
-  for (auto& r : ranks_) {
-    if (remaining == 0) break;
-    if (r->state_ != Rank::State::kBlocked) continue;
-    --remaining;
-    MRL_CHECK(r->cond_ != nullptr);
-    if (auto w = (*r->cond_)()) {
-      r->wake_ = std::max(r->clock_, *w);
-      set_state_locked(*r, Rank::State::kReady);
-    }
-  }
-}
-
-void Engine::perform(Rank& r, const std::function<void()>& fn) {
+void Engine::thread_perform(Rank& r, const std::function<void()>& fn) {
   std::unique_lock lk(mu_);
   check_abort_locked(r);
   check_watchdog_locked(r);
@@ -276,9 +378,9 @@ void Engine::perform(Rank& r, const std::function<void()>& fn) {
   wake_satisfied_locked();
 }
 
-void Engine::wait(Rank& r, const char* what,
-                  const std::function<std::optional<double>()>& cond,
-                  const std::function<void()>& finalize) {
+void Engine::thread_wait(Rank& r, const char* what,
+                         const std::function<std::optional<double>()>& cond,
+                         const std::function<void()>& finalize) {
   std::unique_lock lk(mu_);
   check_abort_locked(r);
   check_watchdog_locked(r);
@@ -324,6 +426,176 @@ void Engine::wait(Rank& r, const char* what,
     r.cond_ = nullptr;
     // Re-queued as kReady with a wake hint (and possibly already granted);
     // the loop re-evaluates cond and goes through the satisfiable path.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fiber backend: every rank is a stackful fiber, the whole engine runs on
+// the single thread that called run(), and the baton is a direct user-space
+// context switch. The scheduling decisions are the same as the thread
+// backend's, in the same order, so the two produce bit-identical results.
+// ---------------------------------------------------------------------------
+
+RunResult Engine::run_fibers(const std::function<void(Rank&)>& body) {
+  reset_run_state_locked(body);
+  // The calling thread may differ between runs (e.g. one engine driven from
+  // different sweep-pool workers), so (re)adopt it each run.
+  main_fiber_.adopt_thread();
+  if (fibers_.empty()) {
+    // Lazy persistent contexts: created once, parked between runs suspended
+    // in fiber_exit_run().
+    fiber_start_.resize(static_cast<std::size_t>(nranks_));
+    fibers_.reserve(static_cast<std::size_t>(nranks_));
+    for (int i = 0; i < nranks_; ++i) {
+      fiber_start_[static_cast<std::size_t>(i)] = FiberStart{this, i};
+      auto f = std::make_unique<Fiber>();
+      f->create(opt_.fiber_stack_bytes, &Engine::fiber_entry,
+                &fiber_start_[static_cast<std::size_t>(i)]);
+      fibers_.push_back(std::move(f));
+    }
+  }
+  const int first = pick_min_ready_locked();
+  MRL_CHECK(first != -1);
+  granted_ = first;
+  Fiber::switch_to(main_fiber_, *fibers_[static_cast<std::size_t>(first)]);
+  if (abort_) {
+    // Fibers suspended mid-wait still hold live frames (user code with
+    // destructors). Resume each one so it observes abort_, throws
+    // AbortException, unwinds cleanly, and parks as kDone.
+    for (int i = 0; i < nranks_; ++i) {
+      Rank& r = *ranks_[static_cast<std::size_t>(i)];
+      while (r.state_ != Rank::State::kDone) {
+        granted_ = i;
+        Fiber::switch_to(main_fiber_, *fibers_[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  MRL_CHECK(done_count_ == nranks_);
+  body_ = nullptr;
+  return collect_result_locked();
+}
+
+void Engine::fiber_entry(void* start) {
+  auto* s = static_cast<FiberStart*>(start);
+  s->engine->fiber_worker(s->id);  // never returns (parks between runs)
+}
+
+void Engine::fiber_worker(int id) {
+  Rank& r = *ranks_[static_cast<std::size_t>(id)];
+  for (;;) {
+    // Granted: either the first grant of a fresh run, or an abort-unwind
+    // resume for a rank whose body never started this run.
+    if (!abort_) {
+      set_state_locked(r, Rank::State::kRunning);
+      try {
+        (*body_)(r);
+      } catch (const AbortException&) {
+        // Engine-initiated unwind (deadlock/watchdog/abort elsewhere).
+      } catch (const std::exception& e) {
+        note_body_error_locked(id, e.what());
+      } catch (...) {
+        note_body_error_locked(id, nullptr);
+      }
+    }
+    set_state_locked(r, Rank::State::kDone);
+    ++done_count_;
+    fiber_exit_run(r);
+  }
+}
+
+// Departure switch at the end of a rank's run: hand the baton onward (or
+// report back to run_fibers). The fiber parks here, suspended, until a later
+// run() grants it again.
+void Engine::fiber_exit_run(Rank& r) {
+  Fiber& self = *fibers_[static_cast<std::size_t>(r.id_)];
+  if (abort_ || done_count_ == nranks_) {
+    Fiber::switch_to(self, main_fiber_);
+  } else {
+    const int next = pick_min_ready_locked();
+    if (next != -1) {
+      granted_ = next;
+      Fiber::switch_to(self, *fibers_[static_cast<std::size_t>(next)]);
+    } else {
+      // Everyone left alive is blocked.
+      note_deadlock_locked();
+      Fiber::switch_to(self, main_fiber_);
+    }
+  }
+  // Resumed: granted at the start of a subsequent run().
+  MRL_CHECK(granted_ == r.id_);
+}
+
+// Relinquish the baton and return once this rank is granted again. The
+// caller must already be queued (kReady) unless it is kBlocked, in which
+// case running out of runnable ranks means deadlock.
+void Engine::fiber_yield(Rank& r) {
+  const int next = pick_min_ready_locked();
+  if (next == r.id_) {
+    // Still the min-clock runnable rank: keep the baton, no switch at all.
+    granted_ = r.id_;
+    return;
+  }
+  if (next == -1) {
+    note_deadlock_locked();
+    throw AbortException{};
+  }
+  granted_ = next;
+  Fiber::switch_to(*fibers_[static_cast<std::size_t>(r.id_)],
+                   *fibers_[static_cast<std::size_t>(next)]);
+  // Resumed: either granted, or being unwound after an abort elsewhere.
+  check_abort_locked(r);
+  MRL_CHECK(granted_ == r.id_);
+}
+
+void Engine::fiber_perform(Rank& r, const std::function<void()>& fn) {
+  check_abort_locked(r);
+  check_watchdog_locked(r);
+  r.wake_ = r.clock_;
+  set_state_locked(r, Rank::State::kReady);
+  fiber_yield(r);
+  set_state_locked(r, Rank::State::kRunning);
+  fn();
+  wake_satisfied_locked();
+}
+
+void Engine::fiber_wait(Rank& r, const char* what,
+                        const std::function<std::optional<double>()>& cond,
+                        const std::function<void()>& finalize) {
+  check_abort_locked(r);
+  check_watchdog_locked(r);
+  // Mirrors thread_wait exactly, including the `holding` rule: once this
+  // rank has been resumed from kBlocked it was granted by the previous
+  // holder's yield, so it must NOT yield again before running — doing so
+  // would re-enter the scheduler at a different point than the thread
+  // backend and could diverge the grant order.
+  bool holding = true;
+  for (;;) {
+    if (auto w = cond()) {
+      r.wake_ = std::max(r.clock_, *w);
+      set_state_locked(r, Rank::State::kReady);
+      if (holding) fiber_yield(r);
+      MRL_CHECK(granted_ == r.id_);
+      set_state_locked(r, Rank::State::kRunning);
+      auto w2 = cond();
+      MRL_CHECK_MSG(w2.has_value(),
+                    "wait condition became unsatisfiable (must be monotonic)");
+      r.clock_ = std::max(r.clock_, *w2);
+      if (finalize) {
+        finalize();
+        wake_satisfied_locked();
+      }
+      return;
+    }
+    r.cond_ = &cond;
+    r.what_ = what;
+    set_state_locked(r, Rank::State::kBlocked);
+    // Suspend until granted (wake_satisfied_locked re-queues us when the
+    // condition becomes satisfiable; a later yield then picks us). Detects
+    // deadlock synchronously if no rank is runnable.
+    fiber_yield(r);
+    holding = false;
+    r.cond_ = nullptr;
+    // Re-evaluate cond via the satisfiable path (monotonic ⇒ it holds now).
   }
 }
 

@@ -1,30 +1,49 @@
 // Deterministic cooperative rank engine (conservative parallel discrete-event
 // simulation, sequentialized).
 //
-// Each rank is a real OS thread running real application code, but exactly
-// one rank thread executes at a time (a baton). Every fabric-visible action
-// goes through Engine::perform(), which re-queues the caller and grants the
-// baton to the runnable rank with the smallest virtual clock. Actions
-// therefore execute in global virtual-time order, which makes link contention
-// causally correct and the whole simulation bit-reproducible.
+// Each rank runs real application code, but exactly one rank executes at a
+// time (a baton). Every fabric-visible action goes through Engine::perform(),
+// which re-queues the caller and grants the baton to the runnable rank with
+// the smallest virtual clock. Actions therefore execute in global
+// virtual-time order, which makes link contention causally correct and the
+// whole simulation bit-reproducible.
 //
 // Blocking operations (receives, signal waits) use Engine::wait() with a
 // condition closure that returns the wake-up virtual time once satisfiable.
 // If every live rank is blocked, the engine reports a deadlock instead of
 // hanging — with each rank's self-described wait reason.
 //
+// Execution backends (EngineOptions::backend, DESIGN.md §8):
+//   * kFibers (default) — every rank is a stackful user-level fiber
+//     (runtime/fiber.{hpp,cpp}) and the whole engine runs on ONE OS thread.
+//     perform()/wait() hand the baton over with a direct user-space context
+//     switch: no mutex, no condvar, no kernel involvement. Because a fiber
+//     is just a stack (a few hundred KiB of lazily committed, guard-paged
+//     virtual memory), rank counts in the thousands are practical where the
+//     thread backend would exhaust OS resources.
+//   * kThreads — the legacy backend: each rank is a parked OS thread and the
+//     baton is a targeted mutex/condvar handoff. Kept selectable because
+//     ThreadSanitizer cannot follow user-level context switches (TSan CI
+//     pins this backend) and as the reference for the abl_design
+//     fibers-vs-threads dispatch ablation.
+// Both backends drive the identical scheduler state machine in the identical
+// order, so virtual times, traces, and CSVs are bit-identical across them
+// (asserted by runtime/core tests).
+//
 // Scheduling hot paths (sweeps call run() thousands of times):
-//   * rank threads are spawned once, on the first run(), and parked between
-//     runs — repeated run() calls reuse the pool instead of re-spawning
-//     nranks OS threads per grid point;
-//   * baton handoff is targeted: only the granted rank's condition variable
-//     is signaled (a rank whose wait condition becomes satisfiable is
-//     re-queued but its thread stays asleep until actually granted);
+//   * rank fibers/threads are created once, on the first run(), and parked
+//     between runs — repeated run() calls reuse them instead of recreating
+//     nranks execution contexts per grid point;
+//   * baton handoff is targeted: only the granted rank resumes (a rank whose
+//     wait condition becomes satisfiable is re-queued but stays suspended
+//     until actually granted), and on the fiber backend a rank that remains
+//     the min-clock runnable rank continues with no switch at all;
 //   * the scheduler selects the min-clock rank from an incrementally
 //     maintained ready list instead of rescanning all ranks, and blocked
 //     -condition re-evaluation is skipped entirely while no rank is blocked.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -35,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/fiber.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/time.hpp"
@@ -44,6 +64,26 @@
 namespace mrl::runtime {
 
 class Engine;
+
+/// Rank execution backend (see the header comment and DESIGN.md §8).
+enum class EngineBackend {
+  kFibers,   ///< stackful fibers, one OS thread, user-space baton handoff
+  kThreads,  ///< one parked OS thread per rank, mutex/condvar baton handoff
+};
+
+[[nodiscard]] const char* to_string(EngineBackend b);
+
+/// Process-wide default backend for newly built EngineOptions. Starts at
+/// kFibers (coerced to kThreads in builds where fibers are unsupported,
+/// e.g. TSan); CLI/bench `--backend` flags override it.
+[[nodiscard]] EngineBackend default_backend();
+void set_default_backend(EngineBackend b);
+
+/// Process-wide default for EngineOptions::watchdog_virtual_us (initially
+/// 1e9). CLI/bench `--watchdog-us` flags override it; 0 disables the
+/// watchdog.
+[[nodiscard]] double default_watchdog_virtual_us();
+void set_default_watchdog_virtual_us(double us);
 
 /// Per-rank execution context. Handed by reference to the rank body; valid
 /// only for the duration of Engine::run().
@@ -96,7 +136,7 @@ class Rank {
   simnet::TimeUs wake_ = 0;  ///< scheduling priority while kReady
   const std::function<std::optional<double>()>* cond_ = nullptr;
   const char* what_ = "";  ///< wait description for deadlock reports
-  std::condition_variable cv_;
+  std::condition_variable cv_;  ///< thread backend only
 };
 
 struct EngineOptions {
@@ -108,7 +148,15 @@ struct EngineOptions {
   /// (e.g. a CAS retry storm that never wins under injected faults). The
   /// watchdog only observes communication ops — a body that loops without
   /// ever touching the engine is outside its contract. 0 disables it.
-  double watchdog_virtual_us = 1e9;
+  double watchdog_virtual_us = default_watchdog_virtual_us();
+  /// Rank execution backend. kFibers is coerced to kThreads in builds where
+  /// fibers are unsupported (TSan — see fibers_supported()).
+  EngineBackend backend = default_backend();
+  /// Usable stack bytes per rank fiber (fiber backend only). Stacks are
+  /// lazily committed virtual memory with a guard page, so thousands of
+  /// ranks are cheap; raise this for rank bodies with deep call chains or
+  /// large stack frames.
+  std::size_t fiber_stack_bytes = 256 * 1024;
 };
 
 struct RunResult {
@@ -131,42 +179,76 @@ class Engine {
   /// Runs `body` on every rank to completion (or deadlock/exception).
   /// May be called repeatedly; rank clocks, epochs, and the trace reset at
   /// each call, and fabric contention state resets too unless EngineOptions
-  /// says otherwise. Rank threads persist across calls.
+  /// says otherwise. Rank fibers/threads persist across calls. A reentrant
+  /// call (from a rank body, or concurrently from another thread) returns
+  /// Status(kInvalidArgument) instead of starting.
   RunResult run(const std::function<void(Rank&)>& body);
 
   [[nodiscard]] const simnet::Platform& platform() const { return platform_; }
   [[nodiscard]] int nranks() const { return nranks_; }
+  /// Backend actually in use (after any TSan coercion).
+  [[nodiscard]] EngineBackend backend() const { return opt_.backend; }
   [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] simnet::Trace& trace() { return trace_; }
 
-  // --- protocol for communication layers (called from rank threads) ---
+  // --- protocol for communication layers (called from rank contexts) ---
 
   /// Executes `fn` under the global virtual-time ordering: the calling rank
   /// yields, is re-granted when it has the minimum clock among runnable
-  /// ranks, and runs `fn` while holding the engine lock. After `fn`, blocked
+  /// ranks, and runs `fn` while the engine is quiescent. After `fn`, blocked
   /// ranks' wait conditions are re-evaluated.
   void perform(Rank& r, const std::function<void()>& fn);
 
   /// Blocks until `cond` returns a wake time; advances the rank clock to
-  /// max(clock, wake). `cond` is evaluated under the engine lock and must be
-  /// monotonic: once satisfiable it stays satisfiable. `what` labels the
-  /// wait in deadlock reports. If `finalize` is non-null it runs under the
-  /// engine lock immediately after the clock update (e.g. to consume the
-  /// matched message atomically with the wake decision).
+  /// max(clock, wake). `cond` is evaluated while the engine is quiescent and
+  /// must be monotonic: once satisfiable it stays satisfiable. `what` labels
+  /// the wait in deadlock reports. If `finalize` is non-null it runs
+  /// immediately after the clock update (e.g. to consume the matched message
+  /// atomically with the wake decision).
   void wait(Rank& r, const char* what,
             const std::function<std::optional<double>()>& cond,
             const std::function<void()>& finalize = {});
 
  private:
   struct AbortException {};
+  struct FiberStart {
+    Engine* engine = nullptr;
+    int id = -1;
+  };
 
-  void worker_main(int id);
-  void rank_main(int id);
-  void schedule_locked();
+  // Shared scheduler state machine (naturally serialized on the fiber
+  // backend; guarded by mu_ on the thread backend — the _locked suffix
+  // refers to that contract).
+  void reset_run_state_locked(const std::function<void(Rank&)>& body);
+  RunResult collect_result_locked();
+  void set_state_locked(Rank& r, Rank::State s);
+  [[nodiscard]] int pick_min_ready_locked() const;
+  void note_deadlock_locked();
+  void note_body_error_locked(int id, const char* what);
   void wake_satisfied_locked();
   void check_abort_locked(const Rank& r) const;
   void check_watchdog_locked(const Rank& r);
-  void set_state_locked(Rank& r, Rank::State s);
+
+  // Thread backend.
+  RunResult run_threads(const std::function<void(Rank&)>& body);
+  void worker_main(int id);
+  void rank_main(int id);
+  void schedule_locked();
+  void thread_perform(Rank& r, const std::function<void()>& fn);
+  void thread_wait(Rank& r, const char* what,
+                   const std::function<std::optional<double>()>& cond,
+                   const std::function<void()>& finalize);
+
+  // Fiber backend.
+  RunResult run_fibers(const std::function<void(Rank&)>& body);
+  static void fiber_entry(void* start);
+  void fiber_worker(int id);
+  void fiber_yield(Rank& r);
+  void fiber_exit_run(Rank& r);
+  void fiber_perform(Rank& r, const std::function<void()>& fn);
+  void fiber_wait(Rank& r, const char* what,
+                  const std::function<std::optional<double>()>& cond,
+                  const std::function<void()>& finalize);
 
   simnet::Platform platform_;
   int nranks_;
@@ -177,11 +259,24 @@ class Engine {
   std::mutex mu_;
   std::vector<std::unique_ptr<Rank>> ranks_;  // created once, reset per run
 
-  // Persistent worker pool (lazily spawned by the first run()).
+  /// run() in progress (reentrancy guard; atomic so a concurrent run()
+  /// attempt from another thread is also rejected instead of racing).
+  std::atomic<bool> running_{false};
+
+  // Persistent thread-backend worker pool (lazily spawned by the first
+  // thread-backend run()).
   std::vector<std::thread> threads_;
   const std::function<void(Rank&)>* body_ = nullptr;
   std::uint64_t run_gen_ = 0;  ///< bumped per run(); workers key off it
   bool shutdown_ = false;
+
+  // Persistent fiber-backend contexts (lazily created by the first
+  // fiber-backend run()). main_fiber_ is the context of whichever thread is
+  // inside run(); rank fibers park between runs suspended in
+  // fiber_exit_run().
+  Fiber main_fiber_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<FiberStart> fiber_start_;
 
   // Scheduler state, reset per run. ready_ holds exactly the ids whose
   // state is kReady; blocked_count_ counts kBlocked ranks.

@@ -1,0 +1,274 @@
+#include "runtime/fiber.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "util/status.hpp"
+
+// ---------------------------------------------------------------------------
+// Build-configuration detection.
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MRL_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MRL_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define MRL_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MRL_FIBER_TSAN 1
+#endif
+#endif
+
+// Hand-rolled switch on x86-64; POSIX swapcontext() everywhere else.
+// MRL_FIBER_FORCE_UCONTEXT forces the fallback (used to test that path on
+// x86-64 hosts).
+#if defined(__x86_64__) && !defined(MRL_FIBER_FORCE_UCONTEXT)
+#define MRL_FIBER_ASM 1
+#else
+#include <ucontext.h>
+#endif
+
+#ifndef MAP_STACK
+#define MAP_STACK 0
+#endif
+
+#if defined(MRL_FIBER_ASAN)
+extern "C" {
+// Declared here instead of including <sanitizer/common_interface_defs.h> so
+// non-sanitized builds need no sanitizer headers at all.
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace mrl::runtime {
+
+bool fibers_supported() {
+#if defined(MRL_FIBER_TSAN)
+  return false;
+#else
+  return true;
+#endif
+}
+
+namespace {
+
+// Called first thing on a fiber's stack, for both trampoline flavors:
+// completes the sanitizer's view of the inbound switch.
+inline void finish_first_entry_switch() {
+#if defined(MRL_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+}  // namespace
+
+void Fiber::run_entry_for_trampoline() {
+  finish_first_entry_switch();
+  entry_(arg_);
+  MRL_CHECK_MSG(false, "fiber entry returned (it must suspend forever)");
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 backend: save/restore the SysV callee-saved state by hand.
+// ---------------------------------------------------------------------------
+
+#if defined(MRL_FIBER_ASM)
+
+// mrl_fiber_swap(void** save_sp, void* load_sp):
+//   pushes rbp rbx r12-r15 + the x87/SSE control words onto the current
+//   stack, parks rsp in *save_sp, adopts load_sp, restores the same state
+//   from there and returns on the new stack. A freshly created fiber's
+//   "restore area" is crafted by Fiber::create() so the final ret lands in
+//   mrl_fiber_entry_thunk with r12 = the Fiber*.
+asm(R"(
+.text
+.align 16
+.globl mrl_fiber_swap
+.hidden mrl_fiber_swap
+.type mrl_fiber_swap, @function
+mrl_fiber_swap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq  $8, %rsp
+    stmxcsr 4(%rsp)
+    fnstcw  (%rsp)
+    movq  %rsp, (%rdi)
+    movq  %rsi, %rsp
+    fldcw   (%rsp)
+    ldmxcsr 4(%rsp)
+    addq  $8, %rsp
+    popq  %r15
+    popq  %r14
+    popq  %r13
+    popq  %r12
+    popq  %rbx
+    popq  %rbp
+    retq
+.size mrl_fiber_swap, .-mrl_fiber_swap
+
+.align 16
+.globl mrl_fiber_entry_thunk
+.hidden mrl_fiber_entry_thunk
+.type mrl_fiber_entry_thunk, @function
+mrl_fiber_entry_thunk:
+    movq  %r12, %rdi
+    pushq %rax
+    callq mrl_fiber_entry_c
+    ud2
+.size mrl_fiber_entry_thunk, .-mrl_fiber_entry_thunk
+)");
+
+extern "C" void mrl_fiber_swap(void** save_sp, void* load_sp);
+extern "C" void mrl_fiber_entry_thunk();
+
+#else  // ucontext backend
+
+namespace {
+
+// makecontext() only forwards ints: split the Fiber* into two 32-bit halves.
+void ucontext_trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(bits)->run_entry_for_trampoline();
+}
+
+}  // namespace
+
+#endif
+
+extern "C" [[noreturn]] void mrl_fiber_entry_c(void* fiber);
+extern "C" void mrl_fiber_entry_c(void* fiber) {
+  static_cast<Fiber*>(fiber)->run_entry_for_trampoline();
+  __builtin_unreachable();
+}
+
+// ---------------------------------------------------------------------------
+// Common: stack allocation, adoption, switching.
+// ---------------------------------------------------------------------------
+
+Fiber::~Fiber() {
+  if (stack_mem_ != nullptr) ::munmap(stack_mem_, stack_total_);
+#if !defined(MRL_FIBER_ASM)
+  delete static_cast<ucontext_t*>(uctx_);
+#endif
+}
+
+void Fiber::create(std::size_t stack_bytes, void (*entry)(void*), void* arg) {
+  MRL_CHECK_MSG(stack_mem_ == nullptr, "fiber already created");
+  MRL_CHECK_MSG(fibers_supported(),
+                "fiber backend is unavailable in this build (TSan)");
+  entry_ = entry;
+  arg_ = arg;
+
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  std::size_t usable = (stack_bytes + page - 1) & ~(page - 1);
+  if (usable < 4 * page) usable = 4 * page;  // floor for the entry frames
+  void* mem = ::mmap(nullptr, usable + page, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  MRL_CHECK_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end: stacks grow down, so running off the end
+  // faults here instead of scribbling over the neighboring mapping.
+  MRL_CHECK(::mprotect(mem, page, PROT_NONE) == 0);
+  stack_mem_ = mem;
+  stack_total_ = usable + page;
+  char* lo = static_cast<char*>(mem) + page;
+#if defined(MRL_FIBER_ASAN)
+  asan_bottom_ = lo;
+  asan_size_ = usable;
+#endif
+
+#if defined(MRL_FIBER_ASM)
+  // Craft the restore area mrl_fiber_swap() expects, so the first switch-in
+  // "returns" into mrl_fiber_entry_thunk with r12 = this. Layout ascending
+  // from the parked rsp: [fcw|mxcsr] r15 r14 r13 r12 rbx rbp [ret addr].
+  // Alignment: top is page-aligned; after the thunk address is popped by
+  // ret, rsp == top-8, i.e. the standard rsp%16==8 function-entry state.
+  std::uint64_t fpu = 0;
+  asm volatile("fnstcw %0" : "=m"(*reinterpret_cast<std::uint16_t*>(&fpu)));
+  std::uint32_t mxcsr = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  fpu |= static_cast<std::uint64_t>(mxcsr) << 32;
+
+  auto* sp = static_cast<std::uint64_t*>(static_cast<void*>(lo + usable));
+  *--sp = 0;  // fake caller frame; terminates backtraces
+  *--sp = reinterpret_cast<std::uint64_t>(&mrl_fiber_entry_thunk);
+  *--sp = 0;                                     // rbp
+  *--sp = 0;                                     // rbx
+  *--sp = reinterpret_cast<std::uint64_t>(this); // r12
+  *--sp = 0;                                     // r13
+  *--sp = 0;                                     // r14
+  *--sp = 0;                                     // r15
+  *--sp = fpu;                                   // fcw @+0, mxcsr @+4
+  sp_ = sp;
+#else
+  auto* ctx = new ucontext_t;
+  MRL_CHECK(::getcontext(ctx) == 0);
+  ctx->uc_stack.ss_sp = lo;
+  ctx->uc_stack.ss_size = usable;
+  ctx->uc_link = nullptr;
+  const auto bits = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(ctx, reinterpret_cast<void (*)()>(&ucontext_trampoline), 2,
+                static_cast<unsigned>(bits >> 32),
+                static_cast<unsigned>(bits & 0xffffffffu));
+  uctx_ = ctx;
+#endif
+}
+
+void Fiber::adopt_thread() {
+  MRL_CHECK_MSG(stack_mem_ == nullptr,
+                "cannot adopt a thread into a created fiber");
+#if !defined(MRL_FIBER_ASM)
+  if (uctx_ == nullptr) uctx_ = new ucontext_t;  // filled by swapcontext()
+#endif
+#if defined(MRL_FIBER_ASAN)
+  // ASan needs the native stack's bounds to switch back onto it.
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      asan_bottom_ = addr;
+      asan_size_ = size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+#endif
+}
+
+void Fiber::switch_to(Fiber& from, Fiber& to) {
+#if defined(MRL_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(&from.asan_fake_, to.asan_bottom_,
+                                 to.asan_size_);
+#endif
+#if defined(MRL_FIBER_ASM)
+  mrl_fiber_swap(&from.sp_, to.sp_);
+#else
+  MRL_CHECK(::swapcontext(static_cast<ucontext_t*>(from.uctx_),
+                          static_cast<ucontext_t*>(to.uctx_)) == 0);
+#endif
+#if defined(MRL_FIBER_ASAN)
+  // Control came back to `from` (possibly much later): restore its fake
+  // stack. The bounds of whatever context we arrived from are tracked by
+  // its own Fiber record, so the out-params are not needed.
+  __sanitizer_finish_switch_fiber(from.asan_fake_, nullptr, nullptr);
+#endif
+}
+
+}  // namespace mrl::runtime

@@ -1,0 +1,74 @@
+// Stackful user-level fibers for the engine's cooperative rank scheduler.
+//
+// One Fiber is one suspended call stack. switch_to() transfers control from
+// the currently executing context to another entirely in user space: on
+// x86-64 it is a hand-rolled callee-saved-register swap (tens of
+// nanoseconds, no mutex, no condvar, no kernel involvement — not even the
+// sigprocmask syscall swapcontext() performs); on other architectures it
+// falls back to POSIX swapcontext(). Fiber stacks are mmap'd with a
+// PROT_NONE guard page below the usable region so an overflow faults
+// immediately instead of silently corrupting a neighboring fiber's stack.
+//
+// Sanitizer support:
+//   * AddressSanitizer — every switch is bracketed with
+//     __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber so
+//     ASan always knows which stack is active (including its fake-stack
+//     when detect_stack_use_after_return is on).
+//   * ThreadSanitizer — TSan cannot follow user-level context switches made
+//     behind its back; fibers_supported() reports false under TSan and the
+//     engine silently falls back to the OS-thread backend (see
+//     DESIGN.md §8).
+#pragma once
+
+#include <cstddef>
+
+namespace mrl::runtime {
+
+/// True when the stackful-fiber backend works under the current build
+/// configuration (false under ThreadSanitizer).
+[[nodiscard]] bool fibers_supported();
+
+class Fiber {
+ public:
+  Fiber() = default;
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Allocates a guard-paged stack of (at least) `stack_bytes` usable bytes
+  /// and primes the fiber so the first switch_to() into it enters
+  /// `entry(arg)`. `entry` must never return — a fiber ends its life
+  /// suspended in a switch_to() away from itself (or is simply destroyed
+  /// while parked).
+  void create(std::size_t stack_bytes, void (*entry)(void*), void* arg);
+
+  /// Marks this Fiber as the calling OS thread's native context so created
+  /// fibers can switch back to it. Call before the first switch of every
+  /// scheduling episode: the episode's owning thread may change between
+  /// calls (e.g. an engine driven from different sweep-pool workers).
+  void adopt_thread();
+
+  /// Suspends `from` (which must be the currently executing context) and
+  /// resumes `to`. Returns when `from` is next switched to.
+  static void switch_to(Fiber& from, Fiber& to);
+
+  /// True once create() gave this fiber its own stack.
+  [[nodiscard]] bool created() const { return stack_mem_ != nullptr; }
+
+  // Used by the entry trampolines; not part of the public surface.
+  void run_entry_for_trampoline();
+
+ private:
+  void* sp_ = nullptr;          ///< asm backend: saved stack pointer
+  void* uctx_ = nullptr;        ///< ucontext backend: heap ucontext_t
+  void* stack_mem_ = nullptr;   ///< mmap base (guard page + usable stack)
+  std::size_t stack_total_ = 0; ///< total mapped bytes incl. guard page
+  void (*entry_)(void*) = nullptr;
+  void* arg_ = nullptr;
+  // AddressSanitizer bookkeeping (unused members cost nothing otherwise).
+  void* asan_fake_ = nullptr;         ///< fake-stack handle while suspended
+  const void* asan_bottom_ = nullptr; ///< stack region for ASan
+  std::size_t asan_size_ = 0;
+};
+
+}  // namespace mrl::runtime

@@ -17,6 +17,7 @@
 #include "core/report.hpp"
 #include "core/split.hpp"
 #include "core/sweep.hpp"
+#include "runtime/engine.hpp"
 #include "simnet/platform.hpp"
 
 namespace mrl::core {
@@ -259,6 +260,50 @@ TEST(Parallel, SweepJobs4BitIdenticalToJobs1) {
     EXPECT_EQ(seq[i].msgs_per_sync, par[i].msgs_per_sync) << i;
     EXPECT_EQ(seq[i].measured_gbs, par[i].measured_gbs) << i;
     EXPECT_EQ(seq[i].eff_latency_us, par[i].eff_latency_us) << i;
+  }
+}
+
+// Execution-backend interchangeability at the sweep level: a fig01-style
+// grid must be bit-identical across {fibers, threads} × {jobs 1, jobs 4}.
+// Nesting check for the fiber backend: with jobs=4 each pool worker owns an
+// engine whose fiber scheduler runs on that worker's thread, under
+// parallel_for_indexed.
+TEST(Parallel, SweepBitIdenticalAcrossBackendsAndJobs) {
+  namespace rt = mrl::runtime;
+  if (!rt::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kOneSidedMpi;
+  cfg.msg_sizes = {64, 4096, 262144};
+  cfg.msgs_per_sync = {1, 10, 100};
+  cfg.iters = 3;
+  const auto plat = simnet::Platform::perlmutter_cpu();
+
+  const rt::EngineBackend saved = rt::default_backend();
+  std::vector<std::vector<SweepPoint>> results;
+  for (rt::EngineBackend backend :
+       {rt::EngineBackend::kFibers, rt::EngineBackend::kThreads}) {
+    rt::set_default_backend(backend);
+    for (int jobs : {1, 4}) {
+      cfg.jobs = jobs;
+      results.push_back(run_sweep(plat, cfg).value());
+    }
+  }
+  rt::set_default_backend(saved);
+
+  const auto& ref = results.front();
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(ref.size(), results[v].size()) << "variant " << v;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].bytes, results[v][i].bytes) << v << "/" << i;
+      EXPECT_EQ(ref[i].msgs_per_sync, results[v][i].msgs_per_sync)
+          << v << "/" << i;
+      EXPECT_EQ(ref[i].measured_gbs, results[v][i].measured_gbs)
+          << v << "/" << i;
+      EXPECT_EQ(ref[i].eff_latency_us, results[v][i].eff_latency_us)
+          << v << "/" << i;
+    }
   }
 }
 

@@ -1,8 +1,16 @@
 // Engine semantics: virtual-time ordering, determinism, blocking/waking,
 // deadlock detection, error propagation.
+//
+// Every semantic test runs under both execution backends (fibers and
+// threads) via the EngineBackends fixture: the two must be observationally
+// indistinguishable — same grants, same clocks, same error statuses. Under
+// ThreadSanitizer the fiber variants skip (TSan cannot follow user-level
+// context switches; see runtime/fiber.hpp) and the thread variants keep the
+// whole suite meaningful.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include "runtime/engine.hpp"
@@ -13,8 +21,29 @@ namespace {
 
 simnet::Platform plat() { return simnet::Platform::perlmutter_cpu(); }
 
-TEST(Engine, RunsAllRanksToCompletion) {
-  Engine eng(plat(), 8);
+class EngineBackends : public ::testing::TestWithParam<EngineBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == EngineBackend::kFibers && !fibers_supported()) {
+      GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+    }
+  }
+  /// Stamps the parameterized backend onto (a copy of) the options.
+  EngineOptions opts(EngineOptions base = {}) const {
+    base.backend = GetParam();
+    return base;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EngineBackends,
+    ::testing::Values(EngineBackend::kFibers, EngineBackend::kThreads),
+    [](const ::testing::TestParamInfo<EngineBackend>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST_P(EngineBackends, RunsAllRanksToCompletion) {
+  Engine eng(plat(), 8, opts());
   std::vector<int> visited(8, 0);
   const RunResult r = eng.run([&](Rank& rank) { visited[rank.id()] = 1; });
   ASSERT_TRUE(r.ok()) << r.status.to_string();
@@ -22,8 +51,8 @@ TEST(Engine, RunsAllRanksToCompletion) {
   EXPECT_EQ(r.rank_end_us.size(), 8u);
 }
 
-TEST(Engine, AdvanceAccumulatesVirtualTime) {
-  Engine eng(plat(), 2);
+TEST_P(EngineBackends, AdvanceAccumulatesVirtualTime) {
+  Engine eng(plat(), 2, opts());
   const RunResult r = eng.run([](Rank& rank) {
     EXPECT_DOUBLE_EQ(rank.now(), 0.0);
     rank.advance(1.5);
@@ -34,8 +63,8 @@ TEST(Engine, AdvanceAccumulatesVirtualTime) {
   EXPECT_DOUBLE_EQ(r.makespan_us, 4.0);
 }
 
-TEST(Engine, PerformExecutesInGlobalClockOrder) {
-  Engine eng(plat(), 4);
+TEST_P(EngineBackends, PerformExecutesInGlobalClockOrder) {
+  Engine eng(plat(), 4, opts());
   std::vector<int> order;
   const RunResult r = eng.run([&](Rank& rank) {
     // Rank i performs at time 10*(3 - i): rank 3 first, rank 0 last.
@@ -47,8 +76,8 @@ TEST(Engine, PerformExecutesInGlobalClockOrder) {
   EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
 }
 
-TEST(Engine, TiesBrokenByRankId) {
-  Engine eng(plat(), 4);
+TEST_P(EngineBackends, TiesBrokenByRankId) {
+  Engine eng(plat(), 4, opts());
   std::vector<int> order;
   const RunResult r = eng.run([&](Rank& rank) {
     rank.advance(5.0);
@@ -58,8 +87,8 @@ TEST(Engine, TiesBrokenByRankId) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
-TEST(Engine, WaitWakesAtConditionTime) {
-  Engine eng(plat(), 2);
+TEST_P(EngineBackends, WaitWakesAtConditionTime) {
+  Engine eng(plat(), 2, opts());
   double flag_time = -1;
   bool flag = false;
   const RunResult r = eng.run([&](Rank& rank) {
@@ -80,8 +109,8 @@ TEST(Engine, WaitWakesAtConditionTime) {
   ASSERT_TRUE(r.ok());
 }
 
-TEST(Engine, WaitDoesNotGoBackwards) {
-  Engine eng(plat(), 2);
+TEST_P(EngineBackends, WaitDoesNotGoBackwards) {
+  Engine eng(plat(), 2, opts());
   bool flag = false;
   const RunResult r = eng.run([&](Rank& rank) {
     if (rank.id() == 0) {
@@ -98,8 +127,8 @@ TEST(Engine, WaitDoesNotGoBackwards) {
   ASSERT_TRUE(r.ok());
 }
 
-TEST(Engine, DeadlockIsDetectedAndReported) {
-  Engine eng(plat(), 2);
+TEST_P(EngineBackends, DeadlockIsDetectedAndReported) {
+  Engine eng(plat(), 2, opts());
   const RunResult r = eng.run([&](Rank& rank) {
     eng.wait(rank, "never-satisfied",
              []() -> std::optional<double> { return std::nullopt; });
@@ -109,9 +138,9 @@ TEST(Engine, DeadlockIsDetectedAndReported) {
   EXPECT_NE(r.status.message().find("never-satisfied"), std::string::npos);
 }
 
-TEST(Engine, PartialDeadlockAlsoDetected) {
+TEST_P(EngineBackends, PartialDeadlockAlsoDetected) {
   // One rank finishes; the other waits forever.
-  Engine eng(plat(), 2);
+  Engine eng(plat(), 2, opts());
   const RunResult r = eng.run([&](Rank& rank) {
     if (rank.id() == 1) {
       eng.wait(rank, "orphan wait",
@@ -122,8 +151,8 @@ TEST(Engine, PartialDeadlockAlsoDetected) {
   EXPECT_EQ(r.status.code(), ErrorCode::kDeadlock);
 }
 
-TEST(Engine, BodyExceptionIsPropagatedNotCrashed) {
-  Engine eng(plat(), 4);
+TEST_P(EngineBackends, BodyExceptionIsPropagatedNotCrashed) {
+  Engine eng(plat(), 4, opts());
   const RunResult r = eng.run([&](Rank& rank) {
     if (rank.id() == 2) throw std::runtime_error("boom");
     // Other ranks block; the abort must unwind them.
@@ -134,8 +163,8 @@ TEST(Engine, BodyExceptionIsPropagatedNotCrashed) {
   EXPECT_NE(r.status.message().find("boom"), std::string::npos);
 }
 
-TEST(Engine, DeterministicAcrossRepeatedRuns) {
-  Engine eng(plat(), 16);
+TEST_P(EngineBackends, DeterministicAcrossRepeatedRuns) {
+  Engine eng(plat(), 16, opts());
   auto body = [&](Rank& rank) {
     for (int i = 0; i < 20; ++i) {
       rank.advance(0.1 * ((rank.id() * 7 + i) % 5 + 1));
@@ -152,8 +181,8 @@ TEST(Engine, DeterministicAcrossRepeatedRuns) {
   }
 }
 
-TEST(Engine, ManyRanksComplete) {
-  Engine eng(plat(), 128);
+TEST_P(EngineBackends, ManyRanksComplete) {
+  Engine eng(plat(), 128, opts());
   std::atomic<int> count{0};
   const RunResult r = eng.run([&](Rank& rank) {
     rank.advance(static_cast<double>(rank.id()));
@@ -164,11 +193,11 @@ TEST(Engine, ManyRanksComplete) {
   EXPECT_DOUBLE_EQ(r.makespan_us, 127.0);
 }
 
-TEST(Engine, ReusesThreadPoolAcrossManyRuns) {
+TEST_P(EngineBackends, ReusesExecutionContextsAcrossManyRuns) {
   // The sweep runner calls run() thousands of times per engine; rank
-  // threads are spawned once and parked between runs, and every run must
-  // start from pristine clocks/epochs/trace regardless of history.
-  runtime::EngineOptions opt;
+  // fibers/threads are created once and parked between runs, and every run
+  // must start from pristine clocks/epochs/trace regardless of history.
+  EngineOptions opt = opts();
   opt.trace = true;
   Engine eng(plat(), 4, opt);
   auto body = [&](Rank& rank) {
@@ -191,8 +220,8 @@ TEST(Engine, ReusesThreadPoolAcrossManyRuns) {
   }
 }
 
-TEST(Engine, CleanRunAfterDeadlockedRun) {
-  Engine eng(plat(), 2);
+TEST_P(EngineBackends, CleanRunAfterDeadlockedRun) {
+  Engine eng(plat(), 2, opts());
   // Run 1: deadlock — both ranks block forever.
   const RunResult bad = eng.run([&](Rank& rank) {
     eng.wait(rank, "never",
@@ -201,7 +230,7 @@ TEST(Engine, CleanRunAfterDeadlockedRun) {
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status.code(), ErrorCode::kDeadlock);
 
-  // Run 2 on the same engine (same parked threads) must be pristine: no
+  // Run 2 on the same engine (same parked contexts) must be pristine: no
   // leftover abort flag, grants, or blocked bookkeeping.
   bool flag = false;
   const RunResult good = eng.run([&](Rank& rank) {
@@ -231,8 +260,8 @@ TEST(Engine, CleanRunAfterDeadlockedRun) {
   EXPECT_DOUBLE_EQ(good2.makespan_us, 1.0);
 }
 
-TEST(Engine, CleanRunAfterBodyExceptionRun) {
-  Engine eng(plat(), 2);
+TEST_P(EngineBackends, CleanRunAfterBodyExceptionRun) {
+  Engine eng(plat(), 2, opts());
   const RunResult bad = eng.run([&](Rank& rank) {
     if (rank.id() == 0) throw std::runtime_error("boom");
     eng.wait(rank, "forever",
@@ -244,8 +273,8 @@ TEST(Engine, CleanRunAfterBodyExceptionRun) {
   EXPECT_DOUBLE_EQ(good.makespan_us, 5.0);
 }
 
-TEST(Engine, TraceResetsBetweenRuns) {
-  runtime::EngineOptions opt;
+TEST_P(EngineBackends, TraceResetsBetweenRuns) {
+  EngineOptions opt = opts();
   opt.trace = true;
   Engine eng(plat(), 2, opt);
   auto record_one = [&](Rank& rank) {
@@ -266,11 +295,11 @@ TEST(Engine, TraceResetsBetweenRuns) {
   EXPECT_EQ(eng.trace().records().size(), 1u);
 }
 
-TEST(Engine, RepeatedRunsAreDeterministicWithBlockingWaits) {
+TEST_P(EngineBackends, RepeatedRunsAreDeterministicWithBlockingWaits) {
   // Exercises the targeted-handoff scheduler: blocked ranks are re-queued
   // without waking, so repeated runs of a blocking workload must still give
   // identical clocks.
-  Engine eng(plat(), 6);
+  Engine eng(plat(), 6, opts());
   std::vector<double> flags_time(6, -1.0);
   std::vector<bool> flags(6, false);
   auto body = [&](Rank& rank) {
@@ -305,8 +334,8 @@ TEST(Engine, RejectsMoreRanksThanPlatformHosts) {
                "more ranks than the platform");
 }
 
-TEST(Engine, EpochBumpTracked) {
-  Engine eng(plat(), 1);
+TEST_P(EngineBackends, EpochBumpTracked) {
+  Engine eng(plat(), 1, opts());
   const RunResult r = eng.run([&](Rank& rank) {
     EXPECT_EQ(rank.epoch(), 0u);
     rank.bump_epoch();
@@ -316,11 +345,11 @@ TEST(Engine, EpochBumpTracked) {
   ASSERT_TRUE(r.ok());
 }
 
-TEST(Engine, WatchdogConvertsLivelockToTimeout) {
+TEST_P(EngineBackends, WatchdogConvertsLivelockToTimeout) {
   // A rank that keeps making virtual-time "progress" without ever reaching
   // its wait condition is a livelock the deadlock detector cannot see: the
   // rank is always runnable. The watchdog caps virtual time instead.
-  EngineOptions opt;
+  EngineOptions opt = opts();
   opt.watchdog_virtual_us = 500.0;
   Engine eng(plat(), 2, opt);
   const RunResult r = eng.run([&](Rank& rank) {
@@ -338,8 +367,8 @@ TEST(Engine, WatchdogConvertsLivelockToTimeout) {
       << r.status.message();
 }
 
-TEST(Engine, WatchdogAlsoTripsInsideWaits) {
-  EngineOptions opt;
+TEST_P(EngineBackends, WatchdogAlsoTripsInsideWaits) {
+  EngineOptions opt = opts();
   opt.watchdog_virtual_us = 200.0;
   Engine eng(plat(), 2, opt);
   const RunResult r = eng.run([&](Rank& rank) {
@@ -357,8 +386,8 @@ TEST(Engine, WatchdogAlsoTripsInsideWaits) {
   EXPECT_EQ(r.status.code(), ErrorCode::kTimeout);
 }
 
-TEST(Engine, CleanRunAfterWatchdogTimeout) {
-  EngineOptions opt;
+TEST_P(EngineBackends, CleanRunAfterWatchdogTimeout) {
+  EngineOptions opt = opts();
   opt.watchdog_virtual_us = 300.0;
   Engine eng(plat(), 2, opt);
   const RunResult bad = eng.run([&](Rank& rank) {
@@ -378,7 +407,7 @@ TEST(Engine, CleanRunAfterWatchdogTimeout) {
   EXPECT_DOUBLE_EQ(good.makespan_us, 100.0);
 }
 
-TEST(Engine, StragglerScalesComputeNotWaits) {
+TEST_P(EngineBackends, StragglerScalesComputeNotWaits) {
   // With a straggler_prob of 1 every rank is a straggler; compute_scale()
   // must reflect the factor while plain advance() stays unscaled.
   simnet::Platform p = plat();
@@ -386,13 +415,149 @@ TEST(Engine, StragglerScalesComputeNotWaits) {
   spec.straggler_prob = 1.0;
   spec.straggler_factor = 3.0;
   p.set_faults(spec);
-  Engine eng(p, 2);
+  Engine eng(p, 2, opts());
   const RunResult r = eng.run([&](Rank& rank) {
     EXPECT_DOUBLE_EQ(rank.compute_scale(), 3.0);
     rank.advance(10.0);  // absolute virtual time: not scaled
     EXPECT_DOUBLE_EQ(rank.now(), 10.0);
   });
   ASSERT_TRUE(r.ok());
+}
+
+TEST_P(EngineBackends, ReentrantRunReturnsInvalidArgument) {
+  // A rank body that calls run() again on its own engine must get a clean
+  // error status back — not a crash, not a hang — and the outer run must
+  // complete normally.
+  Engine eng(plat(), 2, opts());
+  Status inner_status;
+  const RunResult outer = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      const RunResult inner = eng.run([](Rank&) {});
+      inner_status = inner.status;
+    }
+    rank.advance(1.0);
+  });
+  ASSERT_TRUE(outer.ok()) << outer.status.to_string();
+  EXPECT_EQ(inner_status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(inner_status.message().find("reentrant"), std::string::npos);
+  // The guard must release: a fresh top-level run still works.
+  EXPECT_TRUE(eng.run([](Rank& rank) { rank.advance(1.0); }).ok());
+}
+
+TEST(EngineFibers, TwoThousandRanksRunOnOneThread) {
+  // The headline scaling win: 2048 ranks as fibers on a single OS thread —
+  // a rank count where spawning one OS thread per rank is already at or
+  // past typical ulimit/VM limits. Trivial body plus a ring of sends so the
+  // scheduler, waker, and blocking paths all engage at scale.
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  const int n = 2048;
+  EngineOptions opt;
+  opt.backend = EngineBackend::kFibers;
+  opt.fiber_stack_bytes = 128 * 1024;  // 2048 * 128KiB = 256MiB virtual
+  Engine eng(simnet::Platform::perlmutter_cpu(/*nodes=*/16), n, opt);
+  std::vector<bool> sent(static_cast<std::size_t>(n), false);
+  std::vector<double> sent_time(static_cast<std::size_t>(n), 0.0);
+  const RunResult r = eng.run([&](Rank& rank) {
+    const int id = rank.id();
+    const int prev = (id + n - 1) % n;
+    rank.advance(0.01 * (id % 7 + 1));
+    // "Send" to the successor...
+    eng.perform(rank, [&] {
+      sent[static_cast<std::size_t>(id)] = true;
+      sent_time[static_cast<std::size_t>(id)] = rank.now();
+    });
+    // ...and block until the predecessor's send arrives.
+    eng.wait(rank, "ring recv", [&]() -> std::optional<double> {
+      if (!sent[static_cast<std::size_t>(prev)]) return std::nullopt;
+      return sent_time[static_cast<std::size_t>(prev)] + 0.1;
+    });
+  });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  ASSERT_EQ(r.rank_end_us.size(), static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    EXPECT_GT(r.rank_end_us[static_cast<std::size_t>(id)], 0.0)
+        << "rank " << id;
+  }
+}
+
+TEST(EngineCrossBackend, BitIdenticalClocksAndTraces) {
+  // The backends must be interchangeable down to the last bit: identical
+  // virtual clocks AND an identical trace byte stream for a workload that
+  // exercises perform, blocking waits, and tie-breaking.
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  const int n = 8;
+  auto run_backend = [&](EngineBackend backend) {
+    EngineOptions opt;
+    opt.backend = backend;
+    opt.trace = true;
+    Engine eng(plat(), n, opt);
+    std::vector<bool> flags(static_cast<std::size_t>(n), false);
+    std::vector<double> flag_time(static_cast<std::size_t>(n), 0.0);
+    const RunResult r = eng.run([&](Rank& rank) {
+      const int id = rank.id();
+      const int peer = (id + 3) % n;
+      for (int i = 0; i < 10; ++i) {
+        rank.advance(0.1 * ((id * 13 + i) % 7 + 1));
+        eng.perform(rank, [&] {
+          simnet::MsgRecord rec;
+          rec.src_rank = id;
+          rec.dst_rank = peer;
+          rec.bytes = 64u * static_cast<std::uint64_t>(i + 1);
+          rec.t_issue = rank.now();
+          rec.t_arrival = rank.now() + 1.5;
+          eng.trace().record(rec);
+        });
+      }
+      eng.perform(rank, [&] {
+        flags[static_cast<std::size_t>(id)] = true;
+        flag_time[static_cast<std::size_t>(id)] = rank.now();
+      });
+      const int prev = (id + n - 1) % n;
+      eng.wait(rank, "peer", [&]() -> std::optional<double> {
+        if (!flags[static_cast<std::size_t>(prev)]) return std::nullopt;
+        return flag_time[static_cast<std::size_t>(prev)] + 0.5;
+      });
+    });
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    return std::make_pair(r, eng.trace().records());
+  };
+
+  const auto [rf, tf] = run_backend(EngineBackend::kFibers);
+  const auto [rt, tt] = run_backend(EngineBackend::kThreads);
+  ASSERT_EQ(rf.rank_end_us.size(), rt.rank_end_us.size());
+  for (std::size_t i = 0; i < rf.rank_end_us.size(); ++i) {
+    EXPECT_EQ(rf.rank_end_us[i], rt.rank_end_us[i]) << "rank " << i;
+  }
+  EXPECT_EQ(rf.makespan_us, rt.makespan_us);
+  ASSERT_EQ(tf.size(), tt.size());
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    EXPECT_EQ(tf[i].src_rank, tt[i].src_rank) << i;
+    EXPECT_EQ(tf[i].dst_rank, tt[i].dst_rank) << i;
+    EXPECT_EQ(tf[i].bytes, tt[i].bytes) << i;
+    EXPECT_EQ(tf[i].t_issue, tt[i].t_issue) << i;
+    EXPECT_EQ(tf[i].t_arrival, tt[i].t_arrival) << i;
+  }
+}
+
+TEST(EngineBackendDefaults, ProcessWideDefaultIsHonored) {
+  const EngineBackend saved = default_backend();
+  set_default_backend(EngineBackend::kThreads);
+  {
+    Engine eng(plat(), 2);
+    EXPECT_EQ(eng.backend(), EngineBackend::kThreads);
+  }
+  set_default_backend(saved);
+  Engine eng(plat(), 2);
+  EXPECT_EQ(eng.backend(), saved);
+  // Watchdog default plumbs through the same way.
+  const double saved_wd = default_watchdog_virtual_us();
+  set_default_watchdog_virtual_us(123.0);
+  EXPECT_DOUBLE_EQ(EngineOptions{}.watchdog_virtual_us, 123.0);
+  set_default_watchdog_virtual_us(saved_wd);
 }
 
 }  // namespace
