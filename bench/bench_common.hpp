@@ -15,10 +15,33 @@
 
 #include "core/parallel.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/status.hpp"
 
 namespace mrl::bench {
+
+namespace detail {
+/// Path for the --metrics aggregate dump (empty = disabled).
+inline std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+/// atexit hook: dump the process-wide metrics aggregate once the bench has
+/// finished all of its runs. The registry only accumulates commutative
+/// quantities, so the bytes are independent of backend and --jobs.
+inline void dump_metrics_at_exit() {
+  const std::string& path = metrics_path();
+  if (path.empty()) return;
+  const Status st = runtime::MetricsRegistry::instance().write_csv(path);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", st.to_string().c_str());
+    std::_Exit(1);
+  }
+  std::fprintf(stderr, "[metrics] %s\n", path.c_str());
+}
+}  // namespace detail
 
 struct Args {
   bool full = false;  ///< paper-scale problem sizes (slower)
@@ -30,7 +53,7 @@ struct Args {
   static void usage(const char* prog, std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--full] [--jobs N] [--backend B] "
-                 "[--fault-seed S]\n",
+                 "[--fault-seed S] [--metrics PATH]\n",
                  prog);
     std::fprintf(out,
                  "  --full         paper-scale problem sizes (slower)\n"
@@ -43,7 +66,13 @@ struct Args {
                  "(default) or 'threads';\n"
                  "                 output is bit-identical across backends\n"
                  "  --fault-seed S seed for fault-injection substreams "
-                 "(fault-sweep benches)\n");
+                 "(fault-sweep benches)\n"
+                 "  --metrics PATH enable the deterministic metrics layer "
+                 "and write the\n"
+                 "                 process-wide aggregate CSV to PATH at "
+                 "exit (bytes are\n"
+                 "                 identical across backends and --jobs "
+                 "values)\n");
   }
 
   /// Parses the shared bench flags; unrecognized arguments are an error.
@@ -130,6 +159,27 @@ struct Args {
           std::exit(2);
         }
         a.fault_seed = static_cast<std::uint64_t>(s);
+      } else if (std::strcmp(arg, "--metrics") == 0 ||
+                 std::strncmp(arg, "--metrics=", 10) == 0) {
+        const char* val = nullptr;
+        if (arg[9] == '=') {
+          val = arg + 10;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --metrics requires a path\n", argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "%s: --metrics requires a non-empty path\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        detail::metrics_path() = val;
+        runtime::set_default_metrics(true);
+        std::atexit(&detail::dump_metrics_at_exit);
       } else {
         std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], arg);
         usage(argv[0], stderr);

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "simnet/platform.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "workloads/hashtable/hashtable.hpp"
@@ -14,10 +15,16 @@ int main(int argc, char** argv) {
   using namespace mrl;
   namespace hb = workloads::hashtable;
 
+  const auto inserts =
+      parse_cli_int(argc > 1 ? argv[1] : "20000", 1, "insert count");
+  const auto ranks_v = parse_cli_int(argc > 2 ? argv[2] : "16", 1, "rank count");
+  if (!inserts || !ranks_v) {
+    std::fprintf(stderr, "usage: hashtable_demo [total_inserts] [ranks]\n");
+    return 2;
+  }
   hb::Config cfg;
-  cfg.total_inserts =
-      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 20000;
-  const int ranks = argc > 2 ? std::atoi(argv[2]) : 16;
+  cfg.total_inserts = static_cast<std::uint64_t>(*inserts);
+  const int ranks = static_cast<int>(*ranks_v);
 
   std::printf("distributed hashtable: %llu inserts over %d ranks "
               "(%llu slots + %llu overflow nodes per rank)\n\n",

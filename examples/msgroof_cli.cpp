@@ -11,6 +11,7 @@
 // Platforms: perlmutter-cpu frontier-cpu summit-cpu
 //            perlmutter-gpu summit-gpu frontier-gpu
 // Runtimes:  two-sided one-sided shmem cas
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -23,9 +24,11 @@
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/trace_export.hpp"
 #include "util/csv.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "workloads/hashtable/hashtable.hpp"
@@ -59,7 +62,17 @@ using namespace mrl;
       "                  (one OS thread per rank); output is bit-identical\n"
       "  --watchdog-us N virtual-time progress limit per run in us (default\n"
       "                  1e9; 0 disables) — livelocked runs exit with a\n"
-      "                  TIMEOUT status instead of spinning forever\n");
+      "                  TIMEOUT status instead of spinning forever\n"
+      "  --metrics PATH  enable the deterministic metrics layer and write a\n"
+      "                  metrics CSV to PATH on success (byte-identical\n"
+      "                  across backends and --jobs values; see DESIGN §9).\n"
+      "                  stencil writes the full per-rank/link report with\n"
+      "                  fiber stack high-water marks; other commands write\n"
+      "                  the process-wide aggregate\n"
+      "  --nodes N       scale CPU platforms to N nodes (default 1; enables\n"
+      "                  e.g. a 10240-rank perlmutter-cpu at N=80)\n"
+      "  --stack-bytes N fiber stack size in bytes (default 256 KiB; lower\n"
+      "                  it for very high rank counts)\n");
   std::exit(2);
 }
 
@@ -67,6 +80,10 @@ using namespace mrl;
 // every platform the chosen command builds).
 double g_fault_intensity = 0;
 std::uint64_t g_fault_seed = 0x5EEDF007ULL;
+// Global metrics/scaling knobs.
+std::string g_metrics_path;
+int g_nodes = 1;
+bool g_metrics_written = false;  // set when a command wrote a full report
 
 simnet::Platform pick_platform(const std::string& name) {
   using simnet::Platform;
@@ -77,9 +94,15 @@ simnet::Platform pick_platform(const std::string& name) {
     }
     return plat;
   };
-  if (name == "perlmutter-cpu") return with_faults(Platform::perlmutter_cpu());
-  if (name == "frontier-cpu") return with_faults(Platform::frontier_cpu());
-  if (name == "summit-cpu") return with_faults(Platform::summit_cpu());
+  if (name == "perlmutter-cpu") {
+    return with_faults(Platform::perlmutter_cpu(g_nodes));
+  }
+  if (name == "frontier-cpu") return with_faults(Platform::frontier_cpu(g_nodes));
+  if (name == "summit-cpu") return with_faults(Platform::summit_cpu(g_nodes));
+  if (g_nodes != 1) {
+    std::fprintf(stderr, "--nodes only applies to CPU platforms\n");
+    usage();
+  }
   if (name == "perlmutter-gpu") return with_faults(Platform::perlmutter_gpu());
   if (name == "summit-gpu") return with_faults(Platform::summit_gpu());
   if (name == "frontier-gpu") return with_faults(Platform::frontier_gpu());
@@ -119,11 +142,9 @@ int cmd_sweep(int argc, char** argv) {
   for (int i = 4; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
     if (std::strcmp(argv[i], "--jobs") == 0) {
-      jobs = std::atoi(argv[i + 1]);
-      if (jobs < 1) {
-        std::fprintf(stderr, "--jobs needs N >= 1\n");
-        usage();
-      }
+      const auto v = parse_cli_int(argv[i + 1], 1, "--jobs value");
+      if (!v) usage();
+      jobs = static_cast<int>(*v);
     }
   }
   core::SweepConfig cfg = core::SweepConfig::defaults(kind);
@@ -156,31 +177,62 @@ int cmd_sweep(int argc, char** argv) {
 int cmd_stencil(int argc, char** argv) {
   if (argc < 4) usage();
   const simnet::Platform plat = pick_platform(argv[2]);
-  const int ranks = std::atoi(argv[3]);
+  const auto ranks = parse_cli_int(argv[3], 1, "rank count");
+  const auto n = parse_cli_int(argc > 4 ? argv[4] : "512", 2, "grid size");
+  const auto iters = parse_cli_int(argc > 5 ? argv[5] : "5", 1, "iteration count");
+  if (!ranks || !n || !iters) usage();
   workloads::stencil::Config cfg;
-  cfg.n = argc > 4 ? std::atoi(argv[4]) : 512;
-  cfg.iters = argc > 5 ? std::atoi(argv[5]) : 5;
+  cfg.n = static_cast<int>(*n);
+  cfg.iters = static_cast<int>(*iters);
+  const int nranks = static_cast<int>(*ranks);
   const auto r =
-      plat.is_gpu() ? workloads::stencil::run_shmem_gpu(plat, ranks, cfg)
-                    : workloads::stencil::run_two_sided(plat, ranks, cfg);
+      plat.is_gpu() ? workloads::stencil::run_shmem_gpu(plat, nranks, cfg)
+                    : workloads::stencil::run_two_sided(plat, nranks, cfg);
   if (!r.status.is_ok()) {
     std::fprintf(stderr, "FAILED: %s\n", r.status.to_string().c_str());
     return 1;
   }
   std::printf("stencil %dx%d, %d ranks on %s: %s (verified: %s, comm %s)\n",
-              cfg.n, cfg.n, ranks, plat.name().c_str(),
+              cfg.n, cfg.n, nranks, plat.name().c_str(),
               format_time_us(r.time_us).c_str(),
               r.max_abs_err == 0 ? "bitwise" : "FAILED",
               format_gbs(r.msgs.sustained_gbs).c_str());
+  if (!g_metrics_path.empty()) {
+    // Full per-rank/per-link report, with the stack-HWM section appended
+    // (the comparable sections stay backend-independent; see DESIGN §9).
+    auto rows = r.metrics.csv_rows();
+    const auto stack = r.metrics.stack_csv_rows();
+    rows.insert(rows.end(), stack.begin(), stack.end());
+    const Status st = runtime::write_metrics_csv(g_metrics_path, rows);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    g_metrics_written = true;
+    std::printf("[metrics] %s\n", g_metrics_path.c_str());
+    if (!r.metrics.stack_hwm_bytes.empty()) {
+      std::size_t peak = 0;
+      for (std::size_t h : r.metrics.stack_hwm_bytes) {
+        peak = std::max(peak, h);
+      }
+      std::printf("[metrics] fiber stack high-water: max %zu of %zu usable "
+                  "bytes across %zu fibers\n",
+                  peak, r.metrics.stack_usable_bytes,
+                  r.metrics.stack_hwm_bytes.size());
+    }
+  }
   return r.max_abs_err == 0 ? 0 : 1;
 }
 
 int cmd_sptrsv(int argc, char** argv) {
   if (argc < 4) usage();
   const simnet::Platform plat = pick_platform(argv[2]);
-  const int ranks = std::atoi(argv[3]);
+  const auto ranks_v = parse_cli_int(argv[3], 1, "rank count");
+  const auto n_v = parse_cli_int(argc > 4 ? argv[4] : "6000", 1, "matrix size");
+  if (!ranks_v || !n_v) usage();
+  const int ranks = static_cast<int>(*ranks_v);
   workloads::sptrsv::GenConfig g;
-  g.n = argc > 4 ? std::atoi(argv[4]) : 6000;
+  g.n = static_cast<int>(*n_v);
   const auto L = workloads::sptrsv::SupernodalMatrix::generate(g);
   workloads::sptrsv::Config cfg;
   const auto r =
@@ -202,10 +254,13 @@ int cmd_sptrsv(int argc, char** argv) {
 int cmd_hashtable(int argc, char** argv) {
   if (argc < 4) usage();
   const simnet::Platform plat = pick_platform(argv[2]);
-  const int ranks = std::atoi(argv[3]);
+  const auto ranks_v = parse_cli_int(argv[3], 1, "rank count");
+  const auto inserts_v =
+      parse_cli_int(argc > 4 ? argv[4] : "20000", 1, "insert count");
+  if (!ranks_v || !inserts_v) usage();
+  const int ranks = static_cast<int>(*ranks_v);
   workloads::hashtable::Config cfg;
-  cfg.total_inserts =
-      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 20000;
+  cfg.total_inserts = static_cast<std::uint64_t>(*inserts_v);
   const auto r =
       plat.is_gpu() ? workloads::hashtable::run_shmem_gpu(plat, ranks, cfg)
                     : workloads::hashtable::run_one_sided(plat, ranks, cfg);
@@ -227,7 +282,9 @@ int cmd_hashtable(int argc, char** argv) {
 int cmd_trace(int argc, char** argv) {
   if (argc < 5) usage();
   const simnet::Platform plat = pick_platform(argv[2]);
-  const int ranks = std::atoi(argv[3]);
+  const auto ranks_v = parse_cli_int(argv[3], 1, "rank count");
+  if (!ranks_v) usage();
+  const int ranks = static_cast<int>(*ranks_v);
   const std::string out = argv[4];
   workloads::stencil::Config cfg;
   cfg.n = 256;
@@ -279,7 +336,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--faults") == 0 ||
         std::strcmp(arg, "--fault-seed") == 0 ||
         std::strcmp(arg, "--backend") == 0 ||
-        std::strcmp(arg, "--watchdog-us") == 0) {
+        std::strcmp(arg, "--watchdog-us") == 0 ||
+        std::strcmp(arg, "--metrics") == 0 ||
+        std::strcmp(arg, "--nodes") == 0 ||
+        std::strcmp(arg, "--stack-bytes") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", arg);
         usage();
@@ -317,13 +377,29 @@ int main(int argc, char** argv) {
                        val);
           usage();
         }
-      } else {  // --watchdog-us
+      } else if (std::strcmp(arg, "--watchdog-us") == 0) {
         const double us = std::strtod(val, &end);
         if (end == val || *end != '\0' || us < 0) {
           std::fprintf(stderr, "invalid --watchdog-us value '%s'\n", val);
           usage();
         }
         runtime::set_default_watchdog_virtual_us(us);
+      } else if (std::strcmp(arg, "--metrics") == 0) {
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "--metrics requires an output path\n");
+          usage();
+        }
+        g_metrics_path = val;
+        runtime::set_default_metrics(true);
+      } else if (std::strcmp(arg, "--nodes") == 0) {
+        const auto v = parse_cli_int(val, 1, "--nodes value");
+        if (!v) usage();
+        g_nodes = static_cast<int>(*v);
+      } else {  // --stack-bytes
+        const auto v = parse_cli_int(val, 16 * 1024, "--stack-bytes value");
+        if (!v) usage();
+        runtime::set_default_fiber_stack_bytes(
+            static_cast<std::size_t>(*v));
       }
       continue;
     }
@@ -333,11 +409,32 @@ int main(int argc, char** argv) {
   argv = args.data();
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  if (cmd == "platforms") return cmd_platforms();
-  if (cmd == "sweep") return cmd_sweep(argc, argv);
-  if (cmd == "stencil") return cmd_stencil(argc, argv);
-  if (cmd == "sptrsv") return cmd_sptrsv(argc, argv);
-  if (cmd == "hashtable") return cmd_hashtable(argc, argv);
-  if (cmd == "trace") return cmd_trace(argc, argv);
-  usage();
+  int rc = 2;
+  if (cmd == "platforms") {
+    rc = cmd_platforms();
+  } else if (cmd == "sweep") {
+    rc = cmd_sweep(argc, argv);
+  } else if (cmd == "stencil") {
+    rc = cmd_stencil(argc, argv);
+  } else if (cmd == "sptrsv") {
+    rc = cmd_sptrsv(argc, argv);
+  } else if (cmd == "hashtable") {
+    rc = cmd_hashtable(argc, argv);
+  } else if (cmd == "trace") {
+    rc = cmd_trace(argc, argv);
+  } else {
+    usage();
+  }
+  // Commands without their own report writer dump the process-wide aggregate
+  // (order-independent, so byte-identical across backends and job counts).
+  if (rc == 0 && !g_metrics_path.empty() && !g_metrics_written) {
+    const Status st =
+        runtime::MetricsRegistry::instance().write_csv(g_metrics_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("[metrics] %s\n", g_metrics_path.c_str());
+  }
+  return rc;
 }

@@ -8,6 +8,7 @@
 
 #include "simnet/platform.hpp"
 #include "util/histogram.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "workloads/sptrsv/sptrsv.hpp"
@@ -16,9 +17,15 @@ int main(int argc, char** argv) {
   using namespace mrl;
   namespace sp = workloads::sptrsv;
 
+  const auto n = parse_cli_int(argc > 1 ? argv[1] : "6000", 1, "matrix size");
+  const auto ranks_v = parse_cli_int(argc > 2 ? argv[2] : "8", 1, "rank count");
+  if (!n || !ranks_v) {
+    std::fprintf(stderr, "usage: sptrsv_demo [n] [ranks]\n");
+    return 2;
+  }
   sp::GenConfig g;
-  g.n = argc > 1 ? std::atoi(argv[1]) : 6000;
-  const int ranks = argc > 2 ? std::atoi(argv[2]) : 8;
+  g.n = static_cast<int>(*n);
+  const int ranks = static_cast<int>(*ranks_v);
 
   const auto L = sp::SupernodalMatrix::generate(g);
   std::printf("synthetic supernodal L: n=%d, %d supernodes, %llu nnz\n",

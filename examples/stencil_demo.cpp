@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "simnet/platform.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "workloads/stencil/stencil.hpp"
@@ -15,10 +16,18 @@ int main(int argc, char** argv) {
   using namespace mrl;
   namespace st = workloads::stencil;
 
+  const auto n = parse_cli_int(argc > 1 ? argv[1] : "512", 2, "grid size");
+  const auto ranks_v = parse_cli_int(argc > 2 ? argv[2] : "16", 1, "rank count");
+  const auto iters =
+      parse_cli_int(argc > 3 ? argv[3] : "5", 1, "iteration count");
+  if (!n || !ranks_v || !iters) {
+    std::fprintf(stderr, "usage: stencil_demo [grid_n] [ranks] [iters]\n");
+    return 2;
+  }
   st::Config cfg;
-  cfg.n = argc > 1 ? std::atoi(argv[1]) : 512;
-  int ranks = argc > 2 ? std::atoi(argv[2]) : 16;
-  cfg.iters = argc > 3 ? std::atoi(argv[3]) : 5;
+  cfg.n = static_cast<int>(*n);
+  int ranks = static_cast<int>(*ranks_v);
+  cfg.iters = static_cast<int>(*iters);
 
   std::printf("2D Jacobi stencil, grid %dx%d, %d ranks, %d iterations\n\n",
               cfg.n, cfg.n, ranks, cfg.iters);

@@ -97,6 +97,7 @@ const World::CollSlot& Comm::collective(double cost_us, double sum_contrib,
     return slot.done_at;
   });
   rank_->bump_epoch();
+  world_->engine_.metrics().on_collective(rank());
   return slot;
 }
 

@@ -49,9 +49,9 @@ Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
       const auto* p = static_cast<const std::byte*>(buf);
       m.payload.assign(p, p + bytes);
     }
-    eng.trace().record(simnet::MsgRecord{rank(), dst, bytes, rank_->now(),
-                                         m.arrival_us, simnet::OpKind::kSend,
-                                         rank_->epoch(), tr.drops});
+    eng.record_msg(simnet::MsgRecord{rank(), dst, bytes, rank_->now(),
+                                     m.arrival_us, simnet::OpKind::kSend,
+                                     rank_->epoch(), tr.drops});
     world_->mailbox_[static_cast<std::size_t>(dst)].push_back(std::move(m));
     req.send_complete_us = tr.inject_free_us;
   });
@@ -112,6 +112,7 @@ RecvInfo Comm::match_and_consume(void* buf, std::uint64_t max_bytes, int src,
         box.erase(best);
       });
   rank_->advance(p2p_params().o_us);  // receiver overhead
+  eng.metrics().on_recv(rank(), info.bytes);
   return info;
 }
 

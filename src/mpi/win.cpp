@@ -55,9 +55,9 @@ void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
 
     outstanding_[static_cast<std::size_t>(c.rank())].push_back(
         Outstanding{target, arrival, res.inject_free_us});
-    eng.trace().record(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
-                                         arrival, kind,
-                                         c.rank_ctx().epoch(), res.drops});
+    eng.record_msg(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
+                                     arrival, kind,
+                                     c.rank_ctx().epoch(), res.drops});
   });
 }
 
@@ -89,10 +89,13 @@ void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
     // Reads current contents: arrived-but-unapplied puts are not visible,
     // matching our separate-memory RMA model.
     std::memcpy(dest, tr.base + target_off, bytes);
-    eng.trace().record(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
-                                         c.now() + total_us,
-                                         simnet::OpKind::kPut,
-                                         c.rank_ctx().epoch(), rtf.drops});
+    // Gets keep their historical kPut trace encoding (changing it would
+    // change every existing trace byte); is_get reclassifies for metrics.
+    eng.record_msg(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
+                                     c.now() + total_us,
+                                     simnet::OpKind::kPut,
+                                     c.rank_ctx().epoch(), rtf.drops},
+                   /*is_get=*/true);
   });
   c.rank_ctx().advance(total_us);
 }
@@ -149,10 +152,12 @@ void Win::apply_pending_locked(int rank, simnet::TimeUs cutoff) {
                                             : a.seq < b.seq;
             });
   const Region& reg = region_[static_cast<std::size_t>(rank)];
+  auto& metrics = world_->engine_.metrics();
   for (const PendingPut& p : ready) {
     if (!p.data.empty()) {
       std::memcpy(reg.base + p.off, p.data.data(), p.data.size());
     }
+    metrics.on_recv(rank, p.bytes);
   }
 }
 
@@ -197,6 +202,7 @@ std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
     old = *p;
     if (is_cas) {
       if (old == compare) *p = operand;
+      eng.metrics().on_cas_attempt(c.rank(), old == compare);
     } else {
       *p = old + operand;
     }
@@ -223,10 +229,10 @@ std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
     const int drops = r1.drops + r2.drops;
     total_us = r2.arrival_us - c.now() +
                eng.fabric().faults().backoff_us(drops);
-    eng.trace().record(simnet::MsgRecord{c.rank(), target, 8, c.now(),
-                                         c.now() + total_us,
-                                         simnet::OpKind::kAtomic,
-                                         c.rank_ctx().epoch(), drops});
+    eng.record_msg(simnet::MsgRecord{c.rank(), target, 8, c.now(),
+                                     c.now() + total_us,
+                                     simnet::OpKind::kAtomic,
+                                     c.rank_ctx().epoch(), drops});
   });
   c.rank_ctx().advance(total_us);
   return old;

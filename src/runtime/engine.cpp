@@ -11,6 +11,7 @@ namespace {
 
 std::atomic<EngineBackend> g_default_backend{EngineBackend::kFibers};
 std::atomic<double> g_default_watchdog_virtual_us{1e9};
+std::atomic<std::size_t> g_default_fiber_stack_bytes{256 * 1024};
 
 }  // namespace
 
@@ -38,6 +39,14 @@ void set_default_watchdog_virtual_us(double us) {
   g_default_watchdog_virtual_us.store(us, std::memory_order_relaxed);
 }
 
+std::size_t default_fiber_stack_bytes() {
+  return g_default_fiber_stack_bytes.load(std::memory_order_relaxed);
+}
+
+void set_default_fiber_stack_bytes(std::size_t bytes) {
+  g_default_fiber_stack_bytes.store(bytes, std::memory_order_relaxed);
+}
+
 Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
     : platform_(std::move(platform)), nranks_(nranks), opt_(opt) {
   MRL_CHECK(nranks_ >= 1);
@@ -48,6 +57,7 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
   }
   fabric_ = platform_.make_fabric();
   trace_.set_enabled(opt_.trace);
+  metrics_.set_enabled(opt_.metrics);
   ranks_.reserve(static_cast<std::size_t>(nranks_));
   for (int i = 0; i < nranks_; ++i) {
     std::unique_ptr<Rank> r(new Rank());  // ctor is Engine-private
@@ -85,7 +95,49 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   RunResult res = opt_.backend == EngineBackend::kFibers ? run_fibers(body)
                                                          : run_threads(body);
   running_.store(false);
+  if (opt_.metrics && res.ok()) {
+    // Registry aggregation is restricted to commutative quantities, so the
+    // nondeterministic publish order under parallel sweeps cannot perturb
+    // the exported bytes (DESIGN.md §9).
+    MetricsRegistry::instance().publish(metrics_report());
+  }
   return res;
+}
+
+MetricsReport Engine::metrics_report() const {
+  MetricsReport rep;
+  rep.nranks = nranks_;
+  if (!metrics_.enabled()) return rep;
+  rep.ranks = metrics_.ranks();
+  for (const auto& r : ranks_) {
+    rep.makespan_us = std::max(rep.makespan_us, r->clock_);
+  }
+  const simnet::Topology& topo = fabric_->topology();
+  rep.links.reserve(static_cast<std::size_t>(topo.num_links()) * 2);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    for (int dir = 0; dir < 2; ++dir) {
+      rep.links.push_back(LinkMetrics{topo.link(l).name, l, dir,
+                                      fabric_->link_msgs(l, dir),
+                                      fabric_->link_busy_us(l, dir),
+                                      fabric_->link_queue_us(l, dir)});
+    }
+  }
+  rep.stack_hwm_bytes = stack_high_water_bytes();
+  if (!fibers_.empty() && fibers_.front()->created()) {
+    rep.stack_usable_bytes = fibers_.front()->stack_usable_bytes();
+  }
+  return rep;
+}
+
+std::vector<std::size_t> Engine::stack_high_water_bytes() const {
+  std::vector<std::size_t> hwm;
+  if (!metrics_.enabled() || opt_.backend != EngineBackend::kFibers ||
+      fibers_.empty()) {
+    return hwm;
+  }
+  hwm.reserve(fibers_.size());
+  for (const auto& f : fibers_) hwm.push_back(f->stack_high_water_bytes());
+  return hwm;
 }
 
 // ---------------------------------------------------------------------------
@@ -97,6 +149,7 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
 void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   if (opt_.reset_fabric_each_run) fabric_->reset();
   trace_.clear();
+  metrics_.reset(nranks_);
   ready_.clear();
   ready_.reserve(static_cast<std::size_t>(nranks_));
   for (auto& r : ranks_) {
@@ -259,11 +312,15 @@ void Engine::perform(Rank& r, const std::function<void()>& fn) {
 void Engine::wait(Rank& r, const char* what,
                   const std::function<std::optional<double>()>& cond,
                   const std::function<void()>& finalize) {
+  // Blocked duration is measured in virtual time (r.clock_), so it is
+  // identical across backends and job counts by construction.
+  const simnet::TimeUs t0 = r.clock_;
   if (opt_.backend == EngineBackend::kFibers) {
     fiber_wait(r, what, cond, finalize);
   } else {
     thread_wait(r, what, cond, finalize);
   }
+  metrics_.on_wait(r.id_, r.clock_ - t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -451,6 +508,9 @@ RunResult Engine::run_fibers(const std::function<void(Rank&)>& body) {
       auto f = std::make_unique<Fiber>();
       f->create(opt_.fiber_stack_bytes, &Engine::fiber_entry,
                 &fiber_start_[static_cast<std::size_t>(i)]);
+      // Poisoning commits the stack pages, so only pay for it when the
+      // metrics report will actually read the high-water marks.
+      if (opt_.metrics) f->poison_stack();
       fibers_.push_back(std::move(f));
     }
   }

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "runtime/fiber.hpp"
+#include "runtime/metrics.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/time.hpp"
@@ -85,6 +86,12 @@ void set_default_backend(EngineBackend b);
 [[nodiscard]] double default_watchdog_virtual_us();
 void set_default_watchdog_virtual_us(double us);
 
+/// Process-wide default for EngineOptions::fiber_stack_bytes (initially
+/// 256 KiB). Lowering it makes very-high-rank-count runs cheaper, which
+/// matters when metrics-enabled runs poison whole stacks for the HWM scan.
+[[nodiscard]] std::size_t default_fiber_stack_bytes();
+void set_default_fiber_stack_bytes(std::size_t bytes);
+
 /// Per-rank execution context. Handed by reference to the rank body; valid
 /// only for the duration of Engine::run().
 class Rank {
@@ -110,9 +117,10 @@ class Rank {
   [[nodiscard]] double compute_scale() const { return compute_scale_; }
 
   /// Sender-side synchronization epoch (bumped by comm layers at each sync;
-  /// the trace uses it to compute messages-per-sync).
+  /// the trace uses it to compute messages-per-sync, and the metrics layer
+  /// counts it as one synchronization). Defined after Engine.
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
-  void bump_epoch() { ++epoch_; }
+  void bump_epoch();
 
   [[nodiscard]] Engine& engine() const { return *engine_; }
 
@@ -156,7 +164,11 @@ struct EngineOptions {
   /// lazily committed virtual memory with a guard page, so thousands of
   /// ranks are cheap; raise this for rank bodies with deep call chains or
   /// large stack frames.
-  std::size_t fiber_stack_bytes = 256 * 1024;
+  std::size_t fiber_stack_bytes = default_fiber_stack_bytes();
+  /// Collect deterministic per-rank/per-link metrics (DESIGN.md §9) and, on
+  /// the fiber backend, per-fiber stack high-water-marks. Disabled metrics
+  /// cost one branch per hook and change no simulated time either way.
+  bool metrics = default_metrics();
 };
 
 struct RunResult {
@@ -190,6 +202,26 @@ class Engine {
   [[nodiscard]] EngineBackend backend() const { return opt_.backend; }
   [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] simnet::Trace& trace() { return trace_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+  /// Records one fabric-visible message into the trace AND the metrics
+  /// collector (the single choke point that keeps the two in agreement).
+  /// `is_get` marks round trips that pull bytes toward the issuing rank.
+  void record_msg(const simnet::MsgRecord& rec, bool is_get = false) {
+    trace_.record(rec);
+    metrics_.on_msg(rec, is_get);
+  }
+
+  /// Snapshot of the last completed run: per-rank counters/histograms,
+  /// per-link utilization/queueing, makespan and (fiber backend) stack
+  /// high-water-marks. Empty sections when metrics are disabled.
+  [[nodiscard]] MetricsReport metrics_report() const;
+
+  /// Per-fiber stack high-water-marks in rank order. Empty on the thread
+  /// backend or when metrics are disabled (stacks are only poisoned — and
+  /// therefore measurable — on metrics-enabled fiber runs).
+  [[nodiscard]] std::vector<std::size_t> stack_high_water_bytes() const;
 
   // --- protocol for communication layers (called from rank contexts) ---
 
@@ -255,6 +287,7 @@ class Engine {
   EngineOptions opt_;
   std::unique_ptr<simnet::Fabric> fabric_;
   simnet::Trace trace_;
+  Metrics metrics_;
 
   std::mutex mu_;
   std::vector<std::unique_ptr<Rank>> ranks_;  // created once, reset per run
@@ -290,5 +323,10 @@ class Engine {
   std::string body_error_;
   std::condition_variable run_cv_;
 };
+
+inline void Rank::bump_epoch() {
+  ++epoch_;
+  engine_->metrics().on_sync(id_);
+}
 
 }  // namespace mrl::runtime

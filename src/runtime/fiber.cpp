@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstring>
 
 #include "util/status.hpp"
 
@@ -229,6 +230,75 @@ void Fiber::create(std::size_t stack_bytes, void (*entry)(void*), void* arg) {
                 static_cast<unsigned>(bits & 0xffffffffu));
   uctx_ = ctx;
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Stack high-water-mark accounting (metrics runs only).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Sentinel written over untouched stack bytes. Deliberately not 0x00/0xFF:
+// freshly mapped pages are zero and common fill patterns are all-ones, so
+// either would mistake real stores for untouched stack.
+constexpr unsigned char kStackPoison = 0xA5;
+
+#if defined(MRL_FIBER_ASAN)
+#define MRL_NO_ASAN __attribute__((no_sanitize_address))
+#else
+#define MRL_NO_ASAN
+#endif
+
+// Parked fibers hold live frames whose ASan redzones are poisoned, so the
+// scan must be exempt from instrumentation and must not call (interceptable)
+// libc. Returns the first byte in [lo, hi) that differs from the sentinel,
+// i.e. the deepest point execution reached (stacks grow down).
+MRL_NO_ASAN const unsigned char* scan_first_touched(const unsigned char* lo,
+                                                    const unsigned char* hi) {
+  const unsigned char* p = lo;
+  while (p < hi && *p == kStackPoison) ++p;
+  return p;
+}
+
+#undef MRL_NO_ASAN
+
+}  // namespace
+
+void Fiber::poison_stack() {
+  MRL_CHECK_MSG(stack_mem_ != nullptr, "poison_stack before create");
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  char* lo = static_cast<char*>(stack_mem_) + page;
+  const std::size_t usable = stack_total_ - page;
+#if defined(MRL_FIBER_ASM)
+  // Everything below the crafted restore area is virgin stack.
+  const std::size_t fill = static_cast<std::size_t>(
+      static_cast<char*>(sp_) - lo);
+#else
+  // makecontext() parked its trampoline frame near the top; leave a margin
+  // so the fill cannot clobber it.
+  constexpr std::size_t kUcontextMargin = 512;
+  const std::size_t fill = usable > kUcontextMargin ? usable - kUcontextMargin
+                                                    : 0;
+#endif
+  std::memset(lo, kStackPoison, fill);
+  poisoned_ = true;
+}
+
+std::size_t Fiber::stack_high_water_bytes() const {
+  if (!poisoned_ || stack_mem_ == nullptr) return 0;
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const auto* lo =
+      reinterpret_cast<const unsigned char*>(stack_mem_) + page;
+  const std::size_t usable = stack_total_ - page;
+  const unsigned char* hi = lo + usable;
+  const unsigned char* first = scan_first_touched(lo, hi);
+  return static_cast<std::size_t>(hi - first);
+}
+
+std::size_t Fiber::stack_usable_bytes() const {
+  if (stack_mem_ == nullptr) return 0;
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return stack_total_ - page;
 }
 
 void Fiber::adopt_thread() {

@@ -55,6 +55,19 @@ class Fiber {
   /// True once create() gave this fiber its own stack.
   [[nodiscard]] bool created() const { return stack_mem_ != nullptr; }
 
+  /// Fills the not-yet-touched part of the stack with a sentinel pattern so
+  /// stack_high_water_bytes() can later tell how deep execution reached.
+  /// Call right after create(), before the first switch-in. Commits the
+  /// stack's pages, so it is opt-in (metrics runs only).
+  void poison_stack();
+
+  /// Deepest stack use observed since poison_stack(), in bytes from the top
+  /// of the usable region. Zero if the stack was never poisoned.
+  [[nodiscard]] std::size_t stack_high_water_bytes() const;
+
+  /// Usable (guard-page-excluded) stack bytes.
+  [[nodiscard]] std::size_t stack_usable_bytes() const;
+
   // Used by the entry trampolines; not part of the public surface.
   void run_entry_for_trampoline();
 
@@ -65,6 +78,7 @@ class Fiber {
   std::size_t stack_total_ = 0; ///< total mapped bytes incl. guard page
   void (*entry_)(void*) = nullptr;
   void* arg_ = nullptr;
+  bool poisoned_ = false;       ///< stack filled with the HWM sentinel
   // AddressSanitizer bookkeeping (unused members cost nothing otherwise).
   void* asan_fake_ = nullptr;         ///< fake-stack handle while suspended
   const void* asan_bottom_ = nullptr; ///< stack region for ASan

@@ -49,11 +49,13 @@ void World::apply_locked(int pe, simnet::TimeUs cutoff) {
     return a.arrival != b.arrival ? a.arrival < b.arrival : a.seq < b.seq;
   });
   std::byte* base = heap_[static_cast<std::size_t>(pe)].data();
+  auto& metrics = engine_.metrics();
   for (const Delivery& d : ready) {
     if (!d.data.empty()) std::memcpy(base + d.off, d.data.data(), d.data.size());
     if (d.has_signal) {
       std::memcpy(base + d.sig_off, &d.sig_val, sizeof(d.sig_val));
     }
+    metrics.on_recv(pe, d.data_bytes);
   }
 }
 
@@ -129,7 +131,7 @@ void Ctx::put_bytes_nbi(std::uint64_t dest_off, const void* src,
         std::move(d));
     world_->outstanding_[static_cast<std::size_t>(pe())].push_back(
         World::Outstanding{target_pe, arrival, tr.inject_free_us});
-    eng.trace().record(simnet::MsgRecord{
+    eng.record_msg(simnet::MsgRecord{
         pe(), target_pe, bytes, rank_->now(), arrival,
         has_signal ? simnet::OpKind::kPutSignal : simnet::OpKind::kPut,
         rank_->epoch(), tr.drops});
@@ -160,6 +162,9 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
         bytes);
   });
   rank_->advance(total_us);
+  // SHMEM gets were never traced (and adding a record would change existing
+  // trace/CSV bytes), so they are counted through the metrics-only hook.
+  eng.metrics().on_get(pe(), bytes);
 }
 
 void Ctx::wait_local(const char* what, const std::function<bool()>& pred) {
@@ -258,6 +263,7 @@ std::uint64_t Ctx::atomic_rmw(std::uint64_t target_off, std::uint64_t operand,
     old = *p;
     if (is_cas) {
       if (old == compare) *p = operand;
+      eng.metrics().on_cas_attempt(pe(), old == compare);
     } else {
       *p = old + operand;
     }
@@ -282,10 +288,10 @@ std::uint64_t Ctx::atomic_rmw(std::uint64_t target_off, std::uint64_t operand,
     const int drops = r1.drops + r2.drops;
     total_us = r2.arrival_us - rank_->now() +
                eng.fabric().faults().backoff_us(drops);
-    eng.trace().record(simnet::MsgRecord{pe(), target_pe, 8, rank_->now(),
-                                         rank_->now() + total_us,
-                                         simnet::OpKind::kAtomic,
-                                         rank_->epoch(), drops});
+    eng.record_msg(simnet::MsgRecord{pe(), target_pe, 8, rank_->now(),
+                                     rank_->now() + total_us,
+                                     simnet::OpKind::kAtomic,
+                                     rank_->epoch(), drops});
   });
   rank_->advance(total_us);
   return old;
@@ -348,6 +354,7 @@ double Ctx::sum_all(double v) {
     return slot.done_at;
   });
   rank_->bump_epoch();
+  eng.metrics().on_collective(pe());
   return slot.sum;
 }
 

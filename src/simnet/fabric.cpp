@@ -90,6 +90,8 @@ TransferResult Fabric::transfer(const TransferParams& p) {
       // 1.0 bandwidth scale, 0 drops) unless a FaultSpec is active, so the
       // arithmetic below stays bit-identical on a pristine fabric.
       const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), start);
+      st.note_msg();
+      st.add_queue(start - head);  // lane wait beyond pure head propagation
       claims.push_back(Claim{&st, lane, start, spec.msg_occupancy_us});
       head = start + spec.latency_us + hf.extra_latency_us;
       bottleneck_gbs =
@@ -124,6 +126,8 @@ TransferResult Fabric::transfer(const TransferParams& p) {
       const int lane = st.earliest_lane();
       const TimeUs start = std::max(t, st.lane_free_at(lane));
       const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), start);
+      st.note_msg();
+      st.add_queue(start - t);
       double ser = static_cast<double>(p.bytes) *
                    gbs_to_us_per_byte(spec.channel_gbs() * hf.bw_scale);
       if (p.per_stream_gbs > 0) {
@@ -179,6 +183,18 @@ double Fabric::link_busy_us(int link_id, int dir) const {
   MRL_CHECK(link_id >= 0 && link_id < topo_->num_links());
   MRL_CHECK(dir == 0 || dir == 1);
   return dlink_state_[static_cast<std::size_t>(link_id) * 2 + dir].busy_us();
+}
+
+double Fabric::link_queue_us(int link_id, int dir) const {
+  MRL_CHECK(link_id >= 0 && link_id < topo_->num_links());
+  MRL_CHECK(dir == 0 || dir == 1);
+  return dlink_state_[static_cast<std::size_t>(link_id) * 2 + dir].queue_us();
+}
+
+std::uint64_t Fabric::link_msgs(int link_id, int dir) const {
+  MRL_CHECK(link_id >= 0 && link_id < topo_->num_links());
+  MRL_CHECK(dir == 0 || dir == 1);
+  return dlink_state_[static_cast<std::size_t>(link_id) * 2 + dir].msgs();
 }
 
 }  // namespace mrl::simnet

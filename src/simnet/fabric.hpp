@@ -84,6 +84,9 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t total_msgs() const { return total_msgs_; }
   [[nodiscard]] double link_busy_us(int link_id, int dir) const;
+  /// Head-of-line lane-wait time and message count per directed link.
+  [[nodiscard]] double link_queue_us(int link_id, int dir) const;
+  [[nodiscard]] std::uint64_t link_msgs(int link_id, int dir) const;
 
  private:
   const Topology* topo_;

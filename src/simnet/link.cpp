@@ -31,6 +31,8 @@ int LinkState::earliest_lane() const {
 void LinkState::reset() {
   std::fill(lane_next_free_.begin(), lane_next_free_.end(), kTimeZero);
   busy_us_ = 0.0;
+  queue_us_ = 0.0;
+  msgs_ = 0;
 }
 
 }  // namespace mrl::simnet

@@ -57,11 +57,21 @@ class LinkState {
   [[nodiscard]] double busy_us() const { return busy_us_; }
   void add_busy(double us) { busy_us_ += us; }
 
+  /// Head-of-line time transfers spent waiting for a free lane.
+  [[nodiscard]] double queue_us() const { return queue_us_; }
+  void add_queue(double us) { queue_us_ += us; }
+
+  /// Messages that claimed a lane in this direction.
+  [[nodiscard]] std::uint64_t msgs() const { return msgs_; }
+  void note_msg() { ++msgs_; }
+
   void reset();
 
  private:
   std::vector<TimeUs> lane_next_free_;
   double busy_us_ = 0.0;
+  double queue_us_ = 0.0;
+  std::uint64_t msgs_ = 0;
 };
 
 }  // namespace mrl::simnet

@@ -44,6 +44,24 @@ int Log2Histogram::max_bucket() const {
 
 double Log2Histogram::bucket_lo(int k) { return std::ldexp(1.0, k); }
 
+std::string Log2Histogram::bucket_label(int k) {
+  // bucket_of() folds [0, 1) into bucket 0, so its true range is [0, 2).
+  const double lo = k == 0 ? 0.0 : bucket_lo(k);
+  std::ostringstream os;
+  os << "[" << lo << ", " << bucket_lo(k + 1) << ")";
+  return os.str();
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t k = 0; k < other.counts_.size(); ++k) {
+    counts_[k] += other.counts_[k];
+  }
+  total_ += other.total_;
+}
+
 std::string Log2Histogram::render(const std::string& unit,
                                   int bar_width) const {
   std::ostringstream os;
@@ -57,10 +75,11 @@ std::string Log2Histogram::render(const std::string& unit,
   for (int k = lo; k <= hi; ++k) peak = std::max(peak, bucket_count(k));
   for (int k = lo; k <= hi; ++k) {
     const std::uint64_t c = bucket_count(k);
-    const int bar = peak ? static_cast<int>(
+    int bar = peak ? static_cast<int>(
         static_cast<double>(c) / static_cast<double>(peak) * bar_width) : 0;
-    os << "[" << bucket_lo(k) << ", " << bucket_lo(k + 1) << ") " << unit
-       << "\t" << c << "\t" << std::string(bar, '#') << '\n';
+    if (c > 0 && bar < 1) bar = 1;  // never truncate a non-empty bucket away
+    os << bucket_label(k) << " " << unit << "\t" << c << "\t"
+       << std::string(static_cast<std::size_t>(bar), '#') << '\n';
   }
   return os.str();
 }

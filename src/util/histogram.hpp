@@ -22,7 +22,16 @@ class Log2Histogram {
   /// Lower edge of bucket k (2^k).
   static double bucket_lo(int k);
 
+  /// Human-readable half-open range of bucket k. Bucket 0 also absorbs
+  /// every value in [0, 1), so its label is "[0, 2)", not "[1, 2)".
+  static std::string bucket_label(int k);
+
+  /// Merges another histogram bucket-wise (exact integer addition, so the
+  /// result is independent of merge order).
+  void merge(const Log2Histogram& other);
+
   /// ASCII rendering: one line per non-empty bucket with a proportional bar.
+  /// Non-zero buckets always draw at least one '#'.
   [[nodiscard]] std::string render(const std::string& unit = "",
                                    int bar_width = 40) const;
 

@@ -1,0 +1,64 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mrl {
+
+std::optional<long long> parse_i64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<unsigned long long> parse_u64(std::string_view s, int base) {
+  if (s.empty() || s.front() == '-' || s.front() == '+' ||
+      std::isspace(static_cast<unsigned char>(s.front()))) {
+    return std::nullopt;
+  }
+  // strtoull handles the 0x/0 prefixes from_chars does not; strictness is
+  // restored by requiring full consumption and checking ERANGE.
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, base);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front()))) {
+    return std::nullopt;
+  }
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str() ||
+      errno == ERANGE || !std::isfinite(v)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<long long> parse_cli_int(const char* s, long long min,
+                                       const char* what) {
+  const auto v = s != nullptr ? parse_i64(s) : std::nullopt;
+  if (!v || *v < min) {
+    std::fprintf(stderr, "invalid %s '%s' (need an integer >= %lld)\n", what,
+                 s != nullptr ? s : "", min);
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace mrl

@@ -1,0 +1,32 @@
+// Strict numeric parsing for CLI front-ends.
+//
+// std::atoi turns any garbage ("banana", "", "12x") into 0 without a word,
+// which silently becomes a 0-rank or 0-iteration run. These parsers consume
+// the ENTIRE string or fail, reject leading whitespace, and surface range
+// errors, so every demo/CLI can reject bad arguments with a usage error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mrl {
+
+/// Base-10 signed integer: optional leading '-', digits, nothing else.
+[[nodiscard]] std::optional<long long> parse_i64(std::string_view s);
+
+/// Unsigned integer. base 0 accepts 0x/0 prefixes (like strtoull).
+[[nodiscard]] std::optional<unsigned long long> parse_u64(std::string_view s,
+                                                          int base = 10);
+
+/// Finite floating-point number (rejects "nan"/"inf" and trailing junk).
+[[nodiscard]] std::optional<double> parse_f64(std::string_view s);
+
+/// CLI convenience: parses `s` as an integer >= `min`, printing
+/// "invalid <what> '<s>' ..." to stderr on failure. Callers just need
+/// `if (!v) usage();`.
+[[nodiscard]] std::optional<long long> parse_cli_int(const char* s,
+                                                     long long min,
+                                                     const char* what);
+
+}  // namespace mrl

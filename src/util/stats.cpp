@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/status.hpp"
 
@@ -41,21 +42,33 @@ void RunningStats::merge(const RunningStats& other) {
 
 void RunningStats::reset() { *this = RunningStats(); }
 
-double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+namespace {
+// An empty accumulator has no mean/min/max; NaN is unambiguous where 0.0
+// would be indistinguishable from a legitimate zero in a report.
+constexpr double kNoSample = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double RunningStats::mean() const { return n_ ? mean_ : kNoSample; }
 
 double RunningStats::variance() const {
+  if (n_ == 0) return kNoSample;
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double RunningStats::min() const { return n_ ? min_ : 0.0; }
+double RunningStats::min() const { return n_ ? min_ : kNoSample; }
 
-double RunningStats::max() const { return n_ ? max_ : 0.0; }
+double RunningStats::max() const { return n_ ? max_ : kNoSample; }
 
 double percentile(std::vector<double> sample, double q) {
   MRL_CHECK(!sample.empty());
   MRL_CHECK(q >= 0.0 && q <= 100.0);
+  // NaN has no order: std::sort on a NaN-containing range is undefined
+  // behavior and would silently scramble the order statistics.
+  for (const double x : sample) {
+    MRL_CHECK_MSG(!std::isnan(x), "percentile over a NaN-containing sample");
+  }
   std::sort(sample.begin(), sample.end());
   if (sample.size() == 1) return sample[0];
   const double pos = q / 100.0 * static_cast<double>(sample.size() - 1);

@@ -14,6 +14,9 @@ class RunningStats {
   void reset();
 
   [[nodiscard]] std::size_t count() const { return n_; }
+  // mean/variance/stddev/min/max return quiet NaN when no sample has been
+  // added: an empty accumulator is not the same thing as one that observed
+  // zeros, and reports must be able to tell them apart.
   [[nodiscard]] double mean() const;
   [[nodiscard]] double variance() const;  ///< sample variance (n-1)
   [[nodiscard]] double stddev() const;
@@ -32,6 +35,7 @@ class RunningStats {
 
 /// Percentile over a sample (linear interpolation between order statistics).
 /// q in [0,100]. Sample need not be sorted; a copy is sorted internally.
+/// The sample must not contain NaN (checked — sorting NaNs is UB).
 double percentile(std::vector<double> sample, double q);
 
 /// Median convenience wrapper.

@@ -100,6 +100,7 @@ Result run_shmem_gpu(const simnet::Platform& platform, int nranks,
   out.verified = cfg.verify;
   out.max_abs_err = *std::max_element(errs.begin(), errs.end());
   out.msgs = eng.trace().summarize(simnet::OpKind::kPutSignal);
+  if (eng.metrics().enabled()) out.metrics = eng.metrics_report();
   return out;
 }
 

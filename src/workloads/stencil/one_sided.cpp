@@ -62,6 +62,7 @@ Result run_one_sided(const simnet::Platform& platform, int nranks,
   out.verified = cfg.verify;
   out.max_abs_err = *std::max_element(errs.begin(), errs.end());
   out.msgs = eng.trace().summarize(simnet::OpKind::kPut);
+  if (eng.metrics().enabled()) out.metrics = eng.metrics_report();
   return out;
 }
 

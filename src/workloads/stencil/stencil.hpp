@@ -33,6 +33,9 @@ struct Result {
   double max_abs_err = 0;    ///< vs serial reference (0 expected)
   bool verified = false;
   simnet::TraceSummary msgs; ///< data-message stats (for roofline dots)
+  /// Populated when the engine ran with EngineOptions::metrics enabled
+  /// (includes per-fiber stack high-water marks on the fiber backend).
+  runtime::MetricsReport metrics;
   Status status;
 };
 

@@ -5,8 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -304,6 +306,50 @@ TEST(Parallel, SweepBitIdenticalAcrossBackendsAndJobs) {
       EXPECT_EQ(ref[i].eff_latency_us, results[v][i].eff_latency_us)
           << v << "/" << i;
     }
+  }
+}
+
+// The process-wide metrics registry only aggregates commutative quantities
+// (integer sums, histogram buckets, maxima), so its CSV must come out
+// byte-for-byte identical no matter which backend ran the sweep or in what
+// order the parallel grid points published their reports.
+TEST(Parallel, MetricsRegistryBytesIdenticalAcrossBackendsAndJobs) {
+  namespace rt = mrl::runtime;
+  if (!rt::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  SweepConfig cfg;
+  cfg.kind = SweepKind::kOneSidedMpi;
+  cfg.msg_sizes = {64, 4096, 262144};
+  cfg.msgs_per_sync = {1, 10, 100};
+  cfg.iters = 3;
+  const auto plat = simnet::Platform::perlmutter_cpu();
+
+  const rt::EngineBackend saved = rt::default_backend();
+  const bool saved_metrics = rt::default_metrics();
+  rt::set_default_metrics(true);
+  std::vector<std::vector<std::vector<std::string>>> rows;
+  std::vector<std::uint64_t> runs;
+  for (rt::EngineBackend backend :
+       {rt::EngineBackend::kFibers, rt::EngineBackend::kThreads}) {
+    rt::set_default_backend(backend);
+    for (int jobs : {1, 4}) {
+      rt::MetricsRegistry::instance().reset();
+      cfg.jobs = jobs;
+      (void)run_sweep(plat, cfg).value();
+      runs.push_back(rt::MetricsRegistry::instance().runs());
+      rows.push_back(rt::MetricsRegistry::instance().csv_rows());
+    }
+  }
+  rt::set_default_backend(saved);
+  rt::set_default_metrics(saved_metrics);
+  rt::MetricsRegistry::instance().reset();
+
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_GT(runs[0], 0u) << "sweep engines did not publish any reports";
+  for (std::size_t v = 1; v < rows.size(); ++v) {
+    EXPECT_EQ(runs[0], runs[v]) << "variant " << v;
+    EXPECT_EQ(rows[0], rows[v]) << "variant " << v;
   }
 }
 

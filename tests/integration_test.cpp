@@ -460,5 +460,78 @@ TEST(TraceExport, WorkloadTraceExportsEndToEnd) {
   EXPECT_GT(os.str().size(), 50u);
 }
 
+// ---------------------------------------------------------------------------
+// Metrics end-to-end (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, StencilReportBytesIdenticalAcrossBackends) {
+  if (!runtime::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  workloads::stencil::Config cfg;
+  cfg.n = 96;
+  cfg.iters = 3;
+  const auto saved = runtime::default_backend();
+  const bool saved_metrics = runtime::default_metrics();
+  runtime::set_default_metrics(true);
+  std::vector<std::vector<std::vector<std::string>>> rows;
+  for (auto backend :
+       {runtime::EngineBackend::kFibers, runtime::EngineBackend::kThreads}) {
+    runtime::set_default_backend(backend);
+    const auto r = workloads::stencil::run_one_sided(
+        simnet::Platform::perlmutter_cpu(), 9, cfg);
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+    rows.push_back(r.metrics.csv_rows());
+  }
+  runtime::set_default_backend(saved);
+  runtime::set_default_metrics(saved_metrics);
+  runtime::MetricsRegistry::instance().reset();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_GT(rows[0].size(), 1u);
+  // csv_rows excludes the stack section, so fiber and thread reports must
+  // agree byte for byte.
+  EXPECT_EQ(rows[0], rows[1]);
+}
+
+TEST(Metrics, TenThousandRankStencilReportsStackHighWaterMarks) {
+  // The capacity smoke from the roadmap: 10k ranks on one process, with the
+  // metrics layer measuring how much of each 64 KiB fiber stack was actually
+  // touched — the number that justifies shrinking stacks further.
+  if (!runtime::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  workloads::stencil::Config cfg;
+  cfg.n = 256;
+  cfg.iters = 2;
+  cfg.verify = false;  // serial 256x256 reference x 10k compares is wasted time
+  const auto saved = runtime::default_backend();
+  const bool saved_metrics = runtime::default_metrics();
+  const std::size_t saved_stack = runtime::default_fiber_stack_bytes();
+  runtime::set_default_backend(runtime::EngineBackend::kFibers);
+  runtime::set_default_metrics(true);
+  runtime::set_default_fiber_stack_bytes(64 * 1024);
+  const auto r = workloads::stencil::run_two_sided(
+      simnet::Platform::perlmutter_cpu(/*nodes=*/80), 10000, cfg);
+  runtime::set_default_backend(saved);
+  runtime::set_default_metrics(saved_metrics);
+  runtime::set_default_fiber_stack_bytes(saved_stack);
+  runtime::MetricsRegistry::instance().reset();
+
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  ASSERT_EQ(r.metrics.stack_hwm_bytes.size(), 10000u);
+  EXPECT_GT(r.metrics.stack_usable_bytes, 0u);
+  std::size_t peak = 0;
+  for (std::size_t hwm : r.metrics.stack_hwm_bytes) {
+    EXPECT_GT(hwm, 0u);
+    EXPECT_LE(hwm, r.metrics.stack_usable_bytes);
+    peak = std::max(peak, hwm);
+  }
+  // Headroom is the whole point: the busiest fiber must fit comfortably
+  // inside the shrunken 64 KiB stack.
+  EXPECT_LT(peak, r.metrics.stack_usable_bytes);
+  EXPECT_EQ(r.metrics.nranks, 10000);
+  EXPECT_GT(r.metrics.totals().ops.sends, 0u);
+}
+
 }  // namespace
 }  // namespace mrl

@@ -560,5 +560,148 @@ TEST(EngineBackendDefaults, ProcessWideDefaultIsHonored) {
   set_default_watchdog_virtual_us(saved_wd);
 }
 
+// ---------------------------------------------------------------------------
+// Metrics (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+TEST_P(EngineBackends, MetricsDisabledByDefaultAndReportEmpty) {
+  Engine eng(plat(), 2, opts());
+  EXPECT_FALSE(eng.metrics().enabled());
+  const RunResult r = eng.run([](Rank& rank) { rank.advance(1.0); });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  const MetricsReport rep = eng.metrics_report();
+  EXPECT_TRUE(rep.ranks.empty());
+  EXPECT_TRUE(rep.links.empty());
+  EXPECT_TRUE(rep.stack_hwm_bytes.empty());
+}
+
+TEST_P(EngineBackends, MetricsCountWaitsAndBlockedTime) {
+  EngineOptions o = opts();
+  o.metrics = true;
+  Engine eng(plat(), 2, o);
+  bool flag = false;
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      rank.advance(7.0);
+      eng.perform(rank, [&] { flag = true; });
+    } else {
+      eng.wait(rank, "flag", [&]() -> std::optional<double> {
+        return flag ? std::optional<double>(7.0) : std::nullopt;
+      });
+    }
+  });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  const MetricsReport rep = eng.metrics_report();
+  ASSERT_EQ(rep.ranks.size(), 2u);
+  EXPECT_EQ(rep.ranks[1].ops.waits, 1u);
+  // Rank 1 entered the wait at t=0 and woke at t=7.
+  EXPECT_DOUBLE_EQ(rep.ranks[1].blocked_us, 7.0);
+  EXPECT_EQ(rep.ranks[1].wait_us.total(), 1u);
+  EXPECT_EQ(rep.ranks[0].ops.waits, 0u);
+  EXPECT_DOUBLE_EQ(rep.makespan_us, 7.0);
+}
+
+TEST_P(EngineBackends, MetricsResetBetweenRuns) {
+  EngineOptions o = opts();
+  o.metrics = true;
+  Engine eng(plat(), 2, o);
+  bool flag = false;
+  auto body = [&](Rank& rank) {
+    if (rank.id() == 0) {
+      rank.advance(2.0);
+      eng.perform(rank, [&] { flag = true; });
+    } else {
+      eng.wait(rank, "flag", [&]() -> std::optional<double> {
+        return flag ? std::optional<double>(2.0) : std::nullopt;
+      });
+    }
+  };
+  ASSERT_TRUE(eng.run(body).ok());
+  const RankMetrics first = eng.metrics_report().totals();
+  EXPECT_EQ(first.ops.waits, 1u);
+  flag = false;
+  ASSERT_TRUE(eng.run(body).ok());
+  // Counters re-zero each run: the second report equals the first instead of
+  // doubling.
+  const RankMetrics second = eng.metrics_report().totals();
+  EXPECT_EQ(second.ops.waits, first.ops.waits);
+  EXPECT_EQ(second.blocked_us, first.blocked_us);
+}
+
+// The per-run report must be bit-identical across execution backends: same
+// CSV bytes from a fiber engine and a thread engine running the same body.
+TEST(EngineMetrics, ReportBytesIdenticalAcrossBackends) {
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  auto run_one = [](EngineBackend backend) {
+    EngineOptions o;
+    o.backend = backend;
+    o.metrics = true;
+    Engine eng(plat(), 8, o);
+    bool ready = false;
+    const RunResult r = eng.run([&](Rank& rank) {
+      rank.advance(0.5 * (rank.id() + 1));
+      if (rank.id() == 0) {
+        eng.perform(rank, [&] { ready = true; });
+      } else {
+        eng.wait(rank, "ready", [&]() -> std::optional<double> {
+          return ready ? std::optional<double>(4.0) : std::nullopt;
+        });
+      }
+    });
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    return eng.metrics_report().csv_rows();
+  };
+  const auto fib = run_one(EngineBackend::kFibers);
+  const auto thr = run_one(EngineBackend::kThreads);
+  EXPECT_EQ(fib, thr);
+}
+
+TEST(EngineMetrics, FiberStackHighWaterMarksAreMeasured) {
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  EngineOptions o;
+  o.backend = EngineBackend::kFibers;
+  o.metrics = true;
+  Engine eng(plat(), 4, o);
+  ASSERT_TRUE(eng.run([](Rank& rank) {
+    // Burn some stack so the high-water-mark is visibly above zero.
+    volatile char sink[2048];
+    for (std::size_t i = 0; i < sizeof(sink); ++i) sink[i] = 'x';
+    rank.advance(static_cast<double>(sink[0]));
+  }).ok());
+  const MetricsReport rep = eng.metrics_report();
+  ASSERT_EQ(rep.stack_hwm_bytes.size(), 4u);
+  EXPECT_GT(rep.stack_usable_bytes, 0u);
+  for (std::size_t hwm : rep.stack_hwm_bytes) {
+    EXPECT_GT(hwm, 2048u);
+    EXPECT_LE(hwm, rep.stack_usable_bytes);
+  }
+  // The stack section exports through stack_csv_rows, not csv_rows — the
+  // latter must stay backend-independent.
+  EXPECT_FALSE(rep.stack_csv_rows().empty());
+  for (const auto& row : rep.csv_rows()) EXPECT_NE(row[0], "stack");
+}
+
+TEST(EngineMetrics, ThreadBackendHasNoStackSection) {
+  EngineOptions o;
+  o.backend = EngineBackend::kThreads;
+  o.metrics = true;
+  Engine eng(plat(), 2, o);
+  ASSERT_TRUE(eng.run([](Rank& rank) { rank.advance(1.0); }).ok());
+  EXPECT_TRUE(eng.metrics_report().stack_hwm_bytes.empty());
+  EXPECT_TRUE(eng.metrics_report().stack_csv_rows().empty());
+}
+
+TEST(EngineMetrics, ProcessWideDefaultIsHonored) {
+  ASSERT_FALSE(default_metrics()) << "tests assume metrics default off";
+  set_default_metrics(true);
+  EXPECT_TRUE(EngineOptions{}.metrics);
+  set_default_metrics(false);
+  EXPECT_FALSE(EngineOptions{}.metrics);
+}
+
 }  // namespace
 }  // namespace mrl::runtime

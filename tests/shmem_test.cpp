@@ -386,5 +386,73 @@ TEST(Shmem, DropsChargeBackoffOnAtomics) {
   EXPECT_GT(degraded, pristine);
 }
 
+// ---------------------------------------------------------------------------
+// Metrics (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, PutGetAtomicCountersAndCasFailures) {
+  runtime::EngineOptions o;
+  o.metrics = true;
+  o.trace = true;
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2, o);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto data = s.allocate<double>(8);
+    auto word = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 1) s.local(data)[0] = 2.5;
+    s.barrier_all();
+    if (s.pe() == 0) {
+      double src[8] = {};
+      s.put_nbi(data, src, 8, 1);
+      s.quiet();
+      double got = 0;
+      s.get(&got, data.at(0), 1, 1);
+      EXPECT_EQ(s.atomic_compare_swap(word, 5, 9, 1), 0u);   // fails
+      EXPECT_EQ(s.atomic_compare_swap(word, 0, 9, 1), 0u);   // wins
+      s.atomic_fetch_add(word, 1, 1);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  const runtime::MetricsReport rep = eng.metrics_report();
+  const runtime::OpCounters& c0 = rep.ranks[0].ops;
+  EXPECT_EQ(c0.puts, 1u);
+  EXPECT_EQ(c0.gets, 1u);
+  EXPECT_EQ(c0.bytes_recv, sizeof(double));
+  EXPECT_EQ(c0.atomics, 3u);
+  EXPECT_EQ(c0.cas_failures, 1u);
+  EXPECT_EQ(c0.collectives, 2u);
+  EXPECT_EQ(rep.ranks[1].ops.collectives, 2u);
+  // SHMEM gets bypass the trace (adding a record would change trace bytes),
+  // so trace records = fabric ops minus the get round trips.
+  const runtime::OpCounters totals = rep.totals().ops;
+  EXPECT_EQ(totals.fabric_ops() - totals.gets, eng.trace().records().size());
+}
+
+TEST(Metrics, PutSignalCountsOnePut) {
+  runtime::EngineOptions o;
+  o.metrics = true;
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2, o);
+  const auto r = World::run(eng, [](Ctx& s) {
+    auto data = s.allocate<double>(16);
+    auto sig = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 0) {
+      double src[16] = {};
+      s.put_signal_nbi(data, src, 16, sig, 1, 1);
+      s.quiet();
+    } else {
+      s.wait_until(sig, 1);
+    }
+    s.barrier_all();
+  });
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  const runtime::MetricsReport rep = eng.metrics_report();
+  // One put-with-signal = one put (data+signal ride one fabric op here).
+  EXPECT_EQ(rep.ranks[0].ops.puts, 1u);
+  EXPECT_EQ(rep.ranks[0].ops.bytes_sent, 16 * sizeof(double));
+  // The landed payload shows up as a delivery on the target.
+  EXPECT_EQ(rep.ranks[1].ops.recvs, 1u);
+  EXPECT_GE(rep.ranks[1].ops.waits, 1u);
+}
+
 }  // namespace
 }  // namespace mrl::shmem

@@ -1,12 +1,15 @@
 // util: stats, rng, units, table, csv, histogram.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
@@ -177,6 +180,127 @@ TEST(Histogram, BucketsPowersOfTwo) {
   EXPECT_EQ(h.min_bucket(), 0);
   EXPECT_EQ(h.max_bucket(), 10);
   EXPECT_NE(h.render("B").find("1024"), std::string::npos);
+}
+
+TEST(Histogram, BucketZeroLabelCoversZero) {
+  // Bucket 0 absorbs everything in [0, 2) — including exact zeros — so its
+  // label must not claim a lower edge of 1.
+  EXPECT_EQ(Log2Histogram::bucket_label(0), "[0, 2)");
+  EXPECT_EQ(Log2Histogram::bucket_label(1), "[2, 4)");
+  EXPECT_EQ(Log2Histogram::bucket_label(10), "[1024, 2048)");
+}
+
+TEST(Histogram, ZeroValueLandsInBucketZero) {
+  Log2Histogram h;
+  h.add(0.0);
+  h.add(0.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_NE(h.render().find("[0, 2)"), std::string::npos);
+}
+
+TEST(Histogram, RareBucketStillDrawsABar) {
+  Log2Histogram h;
+  h.add_n(1.0, 100000);
+  h.add(1024.0);  // 1e-5 of the peak: proportional width rounds to 0
+  const std::string out = h.render();
+  std::istringstream is(out);
+  std::string line;
+  bool saw_rare = false;
+  while (std::getline(is, line)) {
+    if (line.find("[1024, 2048)") == std::string::npos) continue;
+    saw_rare = true;
+    EXPECT_NE(line.find('#'), std::string::npos)
+        << "non-empty bucket rendered without a bar: " << line;
+  }
+  EXPECT_TRUE(saw_rare) << out;
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Log2Histogram a, b;
+  a.add_n(1.0, 3);
+  a.add(100.0);
+  b.add_n(1.0, 2);
+  b.add(5000.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_EQ(a.bucket_count(0), 5u);
+  EXPECT_EQ(a.bucket_count(6), 1u);   // 100 in [64, 128)
+  EXPECT_EQ(a.bucket_count(12), 1u);  // 5000 in [4096, 8192)
+  Log2Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 7u);
+}
+
+TEST(Stats, EmptyAccumulatorReportsNaN) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  // NaN, not 0: an empty accumulator must be distinguishable from one that
+  // observed genuine zeros.
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.stddev()));
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(2.0);
+  s.add(4.0);
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Stats, PercentileRejectsNaNSample) {
+  // Sorting a NaN-containing range is UB; the check must fire before sort.
+  EXPECT_DEATH(
+      percentile({1.0, std::numeric_limits<double>::quiet_NaN(), 3.0}, 50.0),
+      "NaN");
+}
+
+TEST(Parse, I64AcceptsCanonicalIntegers) {
+  EXPECT_EQ(parse_i64("42").value(), 42);
+  EXPECT_EQ(parse_i64("-7").value(), -7);
+  EXPECT_EQ(parse_i64("0").value(), 0);
+}
+
+TEST(Parse, I64RejectsGarbage) {
+  EXPECT_FALSE(parse_i64(""));
+  EXPECT_FALSE(parse_i64("banana"));
+  EXPECT_FALSE(parse_i64("12x"));   // atoi would return 12
+  EXPECT_FALSE(parse_i64(" 42"));   // no leading whitespace
+  EXPECT_FALSE(parse_i64("42 "));
+  EXPECT_FALSE(parse_i64("4.2"));
+  EXPECT_FALSE(parse_i64("0x10"));  // base 10 only
+}
+
+TEST(Parse, U64HandlesFullRangeAndBases) {
+  EXPECT_EQ(parse_u64("18446744073709551615").value(), UINT64_MAX);
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+  EXPECT_EQ(parse_u64("0x10", 0).value(), 16u);
+}
+
+TEST(Parse, F64RejectsNonFiniteAndTrailingJunk) {
+  EXPECT_DOUBLE_EQ(parse_f64("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_f64("1e3").value(), 1000.0);
+  EXPECT_FALSE(parse_f64("nan"));
+  EXPECT_FALSE(parse_f64("inf"));
+  EXPECT_FALSE(parse_f64("1.5x"));
+  EXPECT_FALSE(parse_f64(""));
+}
+
+TEST(Parse, CliIntEnforcesMinimum) {
+  EXPECT_EQ(parse_cli_int("8", 1, "rank count").value(), 8);
+  EXPECT_FALSE(parse_cli_int("0", 1, "rank count"));
+  EXPECT_FALSE(parse_cli_int("banana", 1, "rank count"));
 }
 
 }  // namespace
