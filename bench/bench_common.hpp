@@ -31,10 +31,27 @@ inline std::string& metrics_path() {
 /// atexit hook: dump the process-wide metrics aggregate once the bench has
 /// finished all of its runs. The registry only accumulates commutative
 /// quantities, so the bytes are independent of backend and --jobs.
+///
+/// The closing banner repeats the per-link head-of-line queueing from the
+/// same registry aggregate the CSV is written from, so the printed numbers
+/// and the `--metrics` CSV always agree.
 inline void dump_metrics_at_exit() {
   const std::string& path = metrics_path();
   if (path.empty()) return;
-  const Status st = runtime::MetricsRegistry::instance().write_csv(path);
+  auto& reg = runtime::MetricsRegistry::instance();
+  const auto links = reg.link_totals();
+  if (!links.empty()) {
+    std::printf("\n[metrics] per-link queueing (aggregate over %llu runs)\n",
+                static_cast<unsigned long long>(reg.runs()));
+    for (const auto& l : links) {
+      std::printf("[metrics]   %-18s dir%d  msgs=%-10llu busy=%.3fus  "
+                  "queue_us=%.3f\n",
+                  l.name.c_str(), l.dir,
+                  static_cast<unsigned long long>(l.msgs), l.busy_us(),
+                  l.queue_us());
+    }
+  }
+  const Status st = reg.write_csv(path);
   if (!st.is_ok()) {
     std::fprintf(stderr, "FATAL: %s\n", st.to_string().c_str());
     std::_Exit(1);
@@ -53,7 +70,7 @@ struct Args {
   static void usage(const char* prog, std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--full] [--jobs N] [--backend B] "
-                 "[--fault-seed S] [--metrics PATH]\n",
+                 "[--scheduler S] [--fault-seed S] [--metrics PATH]\n",
                  prog);
     std::fprintf(out,
                  "  --full         paper-scale problem sizes (slower)\n"
@@ -65,6 +82,11 @@ struct Args {
                  "  --backend B    rank execution backend: 'fibers' "
                  "(default) or 'threads';\n"
                  "                 output is bit-identical across backends\n"
+                 "  --scheduler S  engine ready-queue structure: 'heap' "
+                 "(default, indexed\n"
+                 "                 min-heap) or 'linear' (legacy O(ranks) "
+                 "scan); output is\n"
+                 "                 bit-identical across both\n"
                  "  --fault-seed S seed for fault-injection substreams "
                  "(fault-sweep benches)\n"
                  "  --metrics PATH enable the deterministic metrics layer "
@@ -134,6 +156,30 @@ struct Args {
           std::fprintf(stderr,
                        "%s: invalid --backend value '%s' (expected 'fibers' "
                        "or 'threads')\n",
+                       argv[0], val);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+      } else if (std::strcmp(arg, "--scheduler") == 0 ||
+                 std::strncmp(arg, "--scheduler=", 12) == 0) {
+        const char* val = nullptr;
+        if (arg[11] == '=') {
+          val = arg + 12;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --scheduler requires a value\n", argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        if (std::strcmp(val, "heap") == 0) {
+          runtime::set_default_scheduler(runtime::SchedulerKind::kIndexedHeap);
+        } else if (std::strcmp(val, "linear") == 0) {
+          runtime::set_default_scheduler(runtime::SchedulerKind::kLinearScan);
+        } else {
+          std::fprintf(stderr,
+                       "%s: invalid --scheduler value '%s' (expected 'heap' "
+                       "or 'linear')\n",
                        argv[0], val);
           usage(argv[0], stderr);
           std::exit(2);

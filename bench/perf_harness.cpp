@@ -1,0 +1,351 @@
+// Perf harness: pins a fixed set of simulation sweeps and reports
+// simulated-ops/sec, wall time, and peak RSS as BENCH_engine.json — the
+// tracked, gated number for the engine's hot path (DESIGN.md §10).
+//
+// Sections (fixed shapes; the point is run-to-run comparability, not scale):
+//   fig01_roofline      one-sided MPI roofline sweep on Frontier CPU
+//   fig05_stencil_4096  one-sided stencil, 4096 ranks (32 Perlmutter nodes)
+//   fig05_stencil_100k  one-sided stencil, 100000 ranks (800 nodes)
+//   fig07_grid          the Fig 7 GPU workload trio at 4 PEs
+//   ext_fault_sweep     degraded-network sweep, 3 flavors x 5 intensities
+//
+// "Simulated ops" are scheduler-visible operations counted by the metrics
+// layer: fabric ops (sends/puts/gets/atomics) + syncs + waits. Wall time is
+// steady_clock; peak RSS is /proc/self/status VmHWM (process-wide high-water
+// mark, so per-section values are nondecreasing).
+//
+// With --baseline FILE the harness compares each section's ops_per_sec
+// against the committed baseline and exits 1 on a regression beyond
+// --tolerance (default 25%). Absolute throughput is machine-dependent, so CI
+// treats that gate as soft (artifact + report); the hard gates remain the
+// bit-identity tests.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/sweep.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/platform.hpp"
+#include "workloads/hashtable/hashtable.hpp"
+#include "workloads/sptrsv/sptrsv.hpp"
+#include "workloads/stencil/stencil.hpp"
+
+namespace {
+
+using namespace mrl;
+
+/// Peak RSS (VmHWM) in MiB from /proc/self/status; 0 if unavailable.
+double peak_rss_mb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+struct SectionResult {
+  std::string name;
+  std::uint64_t sim_ops = 0;
+  double wall_s = 0;
+  double ops_per_sec = 0;
+  double rss_mb = 0;  ///< VmHWM after the section (nondecreasing)
+};
+
+std::uint64_t scheduler_visible_ops(const runtime::OpCounters& c) {
+  return c.fabric_ops() + c.syncs + c.waits;
+}
+
+/// Runs `body` as one pinned section with the metrics registry as the
+/// simulated-op counter.
+template <typename F>
+SectionResult run_section(const std::string& name, F&& body) {
+  auto& reg = runtime::MetricsRegistry::instance();
+  reg.reset();
+  std::printf("[perf] %-20s ...", name.c_str());
+  std::fflush(stdout);
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  SectionResult r;
+  r.name = name;
+  r.sim_ops = scheduler_visible_ops(reg.totals());
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.ops_per_sec = r.wall_s > 0 ? static_cast<double>(r.sim_ops) / r.wall_s : 0;
+  r.rss_mb = peak_rss_mb();
+  std::printf(" %12llu ops  %8.3f s  %12.0f ops/s  rss %.1f MB\n",
+              static_cast<unsigned long long>(r.sim_ops), r.wall_s,
+              r.ops_per_sec, r.rss_mb);
+  return r;
+}
+
+void check_ok(const Status& st, const char* what) {
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, st.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+std::string json_escape_free(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void write_json(const std::string& path, const std::vector<SectionResult>& rs,
+                int jobs) {
+  std::ostringstream os;
+  std::uint64_t total_ops = 0;
+  double total_wall = 0, max_rss = 0;
+  for (const auto& r : rs) {
+    total_ops += r.sim_ops;
+    total_wall += r.wall_s;
+    max_rss = std::max(max_rss, r.rss_mb);
+  }
+  os << "{\n"
+     << "  \"bench\": \"engine\",\n"
+     << "  \"backend\": \"" << runtime::to_string(runtime::default_backend())
+     << "\",\n"
+     << "  \"scheduler\": \""
+     << runtime::to_string(runtime::default_scheduler()) << "\",\n"
+     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"sections\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    os << "    {\"name\": \"" << r.name << "\", \"sim_ops\": " << r.sim_ops
+       << ", \"wall_s\": " << json_escape_free(r.wall_s)
+       << ", \"ops_per_sec\": " << json_escape_free(r.ops_per_sec)
+       << ", \"rss_mb\": " << json_escape_free(r.rss_mb) << "}"
+       << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"total\": {\"sim_ops\": " << total_ops
+     << ", \"wall_s\": " << json_escape_free(total_wall)
+     << ", \"ops_per_sec\": "
+     << json_escape_free(total_wall > 0
+                             ? static_cast<double>(total_ops) / total_wall
+                             : 0)
+     << ", \"peak_rss_mb\": " << json_escape_free(max_rss) << "}\n"
+     << "}\n";
+  std::ofstream out(path);
+  out << os.str();
+  if (!out) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("[perf] wrote %s\n", path.c_str());
+}
+
+/// Pulls `"key": <number>` immediately following `"name": "<section>"` out
+/// of a BENCH_engine.json. Returns -1 if absent.
+double json_section_value(const std::string& text, const std::string& section,
+                          const std::string& key) {
+  const std::string anchor = "\"name\": \"" + section + "\"";
+  const std::size_t at = text.find(anchor);
+  if (at == std::string::npos) return -1;
+  const std::size_t line_end = text.find('\n', at);
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t k = text.find(needle, at);
+  if (k == std::string::npos || k > line_end) return -1;
+  return std::strtod(text.c_str() + k + needle.size(), nullptr);
+}
+
+int compare_baseline(const std::string& path,
+                     const std::vector<SectionResult>& rs, double tol_pct) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "[perf] baseline %s not readable; skipping gate\n",
+                 path.c_str());
+    return 0;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int failures = 0;
+  for (const auto& r : rs) {
+    const double base = json_section_value(text, r.name, "ops_per_sec");
+    if (base <= 0) {
+      std::printf("[perf] %-20s no baseline entry; skipped\n", r.name.c_str());
+      continue;
+    }
+    const double ratio = r.ops_per_sec / base;
+    const bool ok = ratio >= 1.0 - tol_pct / 100.0;
+    std::printf("[perf] %-20s %12.0f vs baseline %12.0f ops/s  (%+.1f%%)%s\n",
+                r.name.c_str(), r.ops_per_sec, base, (ratio - 1.0) * 100.0,
+                ok ? "" : "  REGRESSION");
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "[perf] FAIL: %d section(s) regressed more than %.0f%%\n",
+                 failures, tol_pct);
+    return 1;
+  }
+  std::printf("[perf] all sections within %.0f%% of baseline\n", tol_pct);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  std::string baseline_path;
+  double tol_pct = 25.0;
+  int jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--out") == 0) {
+      out_path = value("--out");
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      baseline_path = value("--baseline");
+    } else if (std::strcmp(arg, "--tolerance") == 0) {
+      tol_pct = std::strtod(value("--tolerance"), nullptr);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobs = std::atoi(value("--jobs"));
+      if (jobs < 1) jobs = 1;
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      const char* v = value("--backend");
+      if (std::strcmp(v, "threads") == 0) {
+        runtime::set_default_backend(runtime::EngineBackend::kThreads);
+      } else if (std::strcmp(v, "fibers") == 0 &&
+                 runtime::fibers_supported()) {
+        runtime::set_default_backend(runtime::EngineBackend::kFibers);
+      }
+    } else if (std::strcmp(arg, "--scheduler") == 0) {
+      const char* v = value("--scheduler");
+      runtime::set_default_scheduler(
+          std::strcmp(v, "linear") == 0 ? runtime::SchedulerKind::kLinearScan
+                                        : runtime::SchedulerKind::kIndexedHeap);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out PATH] [--baseline PATH] "
+                   "[--tolerance PCT] [--jobs N] [--backend B] "
+                   "[--scheduler S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  core::set_default_jobs(jobs);
+  runtime::set_default_metrics(true);  // the sim-op counter
+  std::printf("perf_harness: backend=%s scheduler=%s jobs=%d\n",
+              runtime::to_string(runtime::default_backend()),
+              runtime::to_string(runtime::default_scheduler()), jobs);
+
+  std::vector<SectionResult> results;
+
+  results.push_back(run_section("fig01_roofline", [] {
+    const auto plat = simnet::Platform::frontier_cpu();
+    auto cfg = core::SweepConfig::defaults(core::SweepKind::kOneSidedMpi);
+    cfg.iters = 4;
+    cfg.jobs = 0;  // resolve from default_jobs
+    const auto pts = core::run_sweep(plat, cfg);
+    check_ok(pts.is_ok() ? Status::ok() : pts.status(), "fig01 sweep");
+  }));
+
+  {
+    workloads::stencil::Config cfg;
+    cfg.n = 1024;
+    cfg.iters = 2;
+    cfg.verify = false;
+    results.push_back(run_section("fig05_stencil_4096", [&cfg] {
+      const auto plat = simnet::Platform::perlmutter_cpu(32);  // 4096 ranks
+      const auto r = workloads::stencil::run_one_sided(plat, 4096, cfg);
+      check_ok(r.status, "stencil 4096");
+    }));
+  }
+
+  {
+    // 100k ranks: shrink fiber stacks (64 KiB is ample — asserted by the
+    // stack high-water-mark layer) so address space stays bounded.
+    const std::size_t saved = runtime::default_fiber_stack_bytes();
+    runtime::set_default_fiber_stack_bytes(64 * 1024);
+    workloads::stencil::Config cfg;
+    cfg.n = 512;
+    cfg.iters = 2;
+    cfg.verify = false;
+    results.push_back(run_section("fig05_stencil_100k", [&cfg] {
+      const auto plat = simnet::Platform::perlmutter_cpu(800);  // >= 100k
+      const auto r = workloads::stencil::run_one_sided(plat, 100000, cfg);
+      check_ok(r.status, "stencil 100k");
+    }));
+    runtime::set_default_fiber_stack_bytes(saved);
+  }
+
+  results.push_back(run_section("fig07_grid", [] {
+    const auto gpu = simnet::Platform::perlmutter_gpu();
+    const int P = 4;
+    workloads::stencil::Config stc;
+    stc.n = 2048;
+    stc.iters = 4;
+    stc.verify = false;
+    check_ok(workloads::stencil::run_shmem_gpu(gpu, P, stc).status,
+             "fig07 stencil");
+    workloads::sptrsv::GenConfig g;
+    g.n = 8000;
+    const auto L = workloads::sptrsv::SupernodalMatrix::generate(g);
+    workloads::sptrsv::Config spc;
+    spc.verify = false;
+    check_ok(workloads::sptrsv::run_shmem_gpu(gpu, P, L, spc).status,
+             "fig07 sptrsv");
+    workloads::hashtable::Config hc;
+    hc.total_inserts = 20000;
+    hc.verify = false;
+    check_ok(workloads::hashtable::run_shmem_gpu(gpu, P, hc).status,
+             "fig07 hashtable");
+  }));
+
+  results.push_back(run_section("ext_fault_sweep", [] {
+    struct Flavor {
+      core::SweepKind kind;
+      simnet::Platform (*platform)();
+    };
+    const std::vector<Flavor> flavors = {
+        {core::SweepKind::kTwoSided,
+         +[] { return simnet::Platform::perlmutter_cpu(); }},
+        {core::SweepKind::kOneSidedMpi,
+         +[] { return simnet::Platform::perlmutter_cpu(); }},
+        {core::SweepKind::kShmemPutSignal,
+         +[] { return simnet::Platform::perlmutter_gpu(); }},
+    };
+    for (const auto& fl : flavors) {
+      for (const double intensity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        simnet::Platform plat = fl.platform();
+        plat.set_faults(
+            simnet::FaultSpec::at_intensity(intensity, 0x5EEDF007ULL));
+        core::SweepConfig cfg;
+        cfg.kind = fl.kind;
+        cfg.msg_sizes = {64, 4096, 262144, 4194304};
+        cfg.msgs_per_sync = {1, 16, 256};
+        cfg.iters = 3;
+        cfg.jobs = 0;
+        const auto pts = core::run_sweep(plat, cfg);
+        check_ok(pts.is_ok() ? Status::ok() : pts.status(), "fault sweep");
+      }
+    }
+  }));
+
+  write_json(out_path, results, jobs);
+  if (!baseline_path.empty()) {
+    return compare_baseline(baseline_path, results, tol_pct);
+  }
+  return 0;
+}

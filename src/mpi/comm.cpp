@@ -11,16 +11,14 @@ namespace mrl::mpi {
 World::World(runtime::Engine& engine)
     : engine_(engine), nranks_(engine.nranks()) {
   mailbox_.resize(static_cast<std::size_t>(nranks_));
-  fifo_last_.assign(static_cast<std::size_t>(nranks_) * nranks_, 0.0);
-  fifo_seq_.assign(static_cast<std::size_t>(nranks_) * nranks_, 0);
+  fifo_last_.reset(nranks_);
+  fifo_seq_.reset(nranks_);
 }
 
 simnet::TimeUs World::clamp_fifo(int src, int dst, simnet::TimeUs arrival) {
-  const std::size_t idx =
-      static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
-      static_cast<std::size_t>(dst);
-  fifo_last_[idx] = std::max(fifo_last_[idx], arrival);
-  return fifo_last_[idx];
+  simnet::TimeUs& last = fifo_last_.at(src, dst);
+  last = std::max(last, arrival);
+  return last;
 }
 
 runtime::RunResult World::run(runtime::Engine& engine,
@@ -91,11 +89,17 @@ const World::CollSlot& Comm::collective(double cost_us, double sum_contrib,
     }
   });
   const World::CollSlot& slot = rv.done[my_gen % rv.done.size()];
-  world_->engine_.wait(*rank_, "collective", [&]() -> std::optional<double> {
-    if (rv.generation <= my_gen) return std::nullopt;
-    MRL_CHECK_MSG(slot.gen == my_gen, "collective result slot overwritten");
-    return slot.done_at;
-  });
+  // Gated wait: the condition is exactly "rv.generation > my_gen", so the
+  // generation counter doubles as a WaitGate — the engine skips this waiter
+  // until the last entrant bumps the generation (DESIGN.md §10).
+  world_->engine_.wait(
+      *rank_, "collective",
+      [&]() -> std::optional<double> {
+        if (rv.generation <= my_gen) return std::nullopt;
+        MRL_CHECK_MSG(slot.gen == my_gen, "collective result slot overwritten");
+        return slot.done_at;
+      },
+      {}, runtime::WaitGate{&rv.generation, my_gen + 1});
   rank_->bump_epoch();
   world_->engine_.metrics().on_collective(rank());
   return slot;

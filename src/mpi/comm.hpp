@@ -21,6 +21,7 @@
 #include "mpi/types.hpp"
 #include "runtime/engine.hpp"
 #include "simnet/loggp.hpp"
+#include "util/pair_map.hpp"
 
 namespace mrl::mpi {
 
@@ -57,8 +58,10 @@ class World {
   runtime::Engine& engine_;
   int nranks_;
   std::vector<std::deque<Msg>> mailbox_;          // per dst rank
-  std::vector<simnet::TimeUs> fifo_last_;         // [src * n + dst]
-  std::vector<std::uint64_t> fifo_seq_;           // [src * n + dst]
+  // Keyed (src, dst); sparse above PairMap::kDenseRanks so large worlds
+  // don't materialize O(P^2) channel state.
+  util::PairMap<simnet::TimeUs> fifo_last_;
+  util::PairMap<std::uint64_t> fifo_seq_;
 
   // Collective rendezvous state (single communicator). Results are kept in a
   // small generation-indexed ring so late wakers of generation g can still

@@ -36,13 +36,10 @@ Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
     tp.per_stream_gbs = pp.per_stream_gbs;
     const simnet::TransferResult tr = eng.fabric().transfer(tp);
 
-    const std::size_t pair =
-        static_cast<std::size_t>(rank()) * static_cast<std::size_t>(size()) +
-        static_cast<std::size_t>(dst);
     Msg m;
     m.src = rank();
     m.tag = tag;
-    m.seq = world_->fifo_seq_[pair]++;
+    m.seq = world_->fifo_seq_.at(rank(), dst)++;
     m.arrival_us = world_->clamp_fifo(rank(), dst, tr.arrival_us);
     m.bytes = bytes;
     if (bytes > 0 && world_->capture_payloads) {

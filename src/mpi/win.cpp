@@ -279,11 +279,16 @@ void Win::fence(Comm& c) {
     }
   });
   const FenceSlot& slot = fence_done_[my_gen % fence_done_.size()];
-  eng.wait(c.rank_ctx(), "win.fence", [&]() -> std::optional<double> {
-    if (fence_gen_ <= my_gen) return std::nullopt;
-    MRL_CHECK_MSG(slot.gen == my_gen, "fence result slot overwritten");
-    return slot.done_at;
-  });
+  // Gated on the fence generation: waiters are not re-evaluated until the
+  // last entrant bumps fence_gen_ (see runtime::WaitGate, DESIGN.md §10).
+  eng.wait(
+      c.rank_ctx(), "win.fence",
+      [&]() -> std::optional<double> {
+        if (fence_gen_ <= my_gen) return std::nullopt;
+        MRL_CHECK_MSG(slot.gen == my_gen, "fence result slot overwritten");
+        return slot.done_at;
+      },
+      {}, runtime::WaitGate{&fence_gen_, my_gen + 1});
   c.rank_ctx().bump_epoch();
 }
 

@@ -10,6 +10,7 @@ namespace mrl::runtime {
 namespace {
 
 std::atomic<EngineBackend> g_default_backend{EngineBackend::kFibers};
+std::atomic<SchedulerKind> g_default_scheduler{SchedulerKind::kIndexedHeap};
 std::atomic<double> g_default_watchdog_virtual_us{1e9};
 std::atomic<std::size_t> g_default_fiber_stack_bytes{256 * 1024};
 
@@ -17,6 +18,18 @@ std::atomic<std::size_t> g_default_fiber_stack_bytes{256 * 1024};
 
 const char* to_string(EngineBackend b) {
   return b == EngineBackend::kFibers ? "fibers" : "threads";
+}
+
+const char* to_string(SchedulerKind s) {
+  return s == SchedulerKind::kIndexedHeap ? "heap" : "linear";
+}
+
+SchedulerKind default_scheduler() {
+  return g_default_scheduler.load(std::memory_order_relaxed);
+}
+
+void set_default_scheduler(SchedulerKind s) {
+  g_default_scheduler.store(s, std::memory_order_relaxed);
 }
 
 EngineBackend default_backend() {
@@ -150,18 +163,32 @@ void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   if (opt_.reset_fabric_each_run) fabric_->reset();
   trace_.clear();
   metrics_.reset(nranks_);
+  const bool heap = opt_.scheduler == SchedulerKind::kIndexedHeap;
   ready_.clear();
-  ready_.reserve(static_cast<std::size_t>(nranks_));
+  blocked_.clear();
+  if (heap) {
+    ready_heap_.reset(nranks_);
+  } else {
+    ready_.reserve(static_cast<std::size_t>(nranks_));
+  }
   for (auto& r : ranks_) {
     r->clock_ = 0;
     r->epoch_ = 0;
     r->state_ = Rank::State::kReady;
     r->wake_ = 0;
+    r->blocked_pos_ = -1;
+    r->gated_ = false;
     r->cond_ = nullptr;
     r->what_ = "";
-    ready_.push_back(r->id_);
+    if (heap) {
+      ready_heap_.push(r->id_, r->wake_);
+    } else {
+      ready_.push_back(r->id_);
+    }
   }
   blocked_count_ = 0;
+  gates_.clear();
+  gated_count_ = 0;
   granted_ = -1;
   done_count_ = 0;
   abort_ = false;
@@ -188,23 +215,62 @@ RunResult Engine::collect_result_locked() {
 
 void Engine::set_state_locked(Rank& r, Rank::State s) {
   if (r.state_ == s) return;
+  const bool heap = opt_.scheduler == SchedulerKind::kIndexedHeap;
   if (r.state_ == Rank::State::kReady) {
-    const auto it = std::find(ready_.begin(), ready_.end(), r.id_);
-    MRL_CHECK(it != ready_.end());
-    *it = ready_.back();
-    ready_.pop_back();
+    if (heap) {
+      ready_heap_.erase(r.id_);
+    } else {
+      const auto it = std::find(ready_.begin(), ready_.end(), r.id_);
+      MRL_CHECK(it != ready_.end());
+      *it = ready_.back();
+      ready_.pop_back();
+    }
   } else if (r.state_ == Rank::State::kBlocked) {
     --blocked_count_;
+    if (r.gated_) {
+      // Parked in a gate channel, not in blocked_. The channel entry is
+      // popped by wake_gated_locked (or skipped as stale on abort unwind).
+      r.gated_ = false;
+      --gated_count_;
+    } else if (heap) {
+      // Swap-remove from the blocked-rank index via the position slot.
+      const int p = r.blocked_pos_;
+      MRL_CHECK(p >= 0 && blocked_[static_cast<std::size_t>(p)] == r.id_);
+      const int last = blocked_.back();
+      blocked_[static_cast<std::size_t>(p)] = last;
+      ranks_[static_cast<std::size_t>(last)]->blocked_pos_ = p;
+      blocked_.pop_back();
+      r.blocked_pos_ = -1;
+    }
   }
   r.state_ = s;
   if (s == Rank::State::kReady) {
-    ready_.push_back(r.id_);
+    // wake_ is always finalized before a rank is (re)queued, so the heap key
+    // never changes while the rank sits in the heap.
+    if (heap) {
+      ready_heap_.push(r.id_, r.wake_);
+    } else {
+      ready_.push_back(r.id_);
+    }
   } else if (s == Rank::State::kBlocked) {
     ++blocked_count_;
+    if (r.gated_) {
+      // Caller set gated_ and registered the (threshold, id) channel entry;
+      // the rank stays out of blocked_ so generic re-evaluation skips it.
+      ++gated_count_;
+    } else if (heap) {
+      r.blocked_pos_ = static_cast<int>(blocked_.size());
+      blocked_.push_back(r.id_);
+    }
   }
 }
 
 int Engine::pick_min_ready_locked() const {
+  if (opt_.scheduler == SchedulerKind::kIndexedHeap) {
+    // Heap top IS the (wake, id)-lexicographic minimum: same pick, same
+    // lowest-rank-id tie-break as the linear scan below, in O(1).
+    return ready_heap_.top();
+  }
   // Min (wake, id) over the incrementally maintained ready list — for the
   // dominant 2-rank sweeps this inspects one or two entries, never all
   // ranks. Ties break toward the lowest rank id (deterministic order).
@@ -250,7 +316,30 @@ void Engine::wake_satisfied_locked() {
   // Re-queue satisfiable waiters without resuming them: the wake hint
   // becomes their scheduling priority, and they run if and when they are
   // actually granted the baton.
+  //
+  // Wait conditions are monotonic and side-effect free (they are evaluated
+  // speculatively and repeatedly — see Engine::wait), so the set of woken
+  // ranks and their wake times do not depend on evaluation order; only the
+  // ready queue's (wake, id) order decides who runs next. That makes the
+  // unordered blocked-rank index below observably identical to the legacy
+  // ascending-id scan.
   if (blocked_count_ == 0) return;
+  if (opt_.scheduler == SchedulerKind::kIndexedHeap) {
+    if (gated_count_ > 0) wake_gated_locked();
+    // Walk only actual waiters. A wake swap-removes blocked_[i], so the
+    // index advances only past ranks that stayed blocked.
+    for (std::size_t i = 0; i < blocked_.size();) {
+      Rank& r = *ranks_[static_cast<std::size_t>(blocked_[i])];
+      MRL_CHECK(r.cond_ != nullptr);
+      if (auto w = (*r.cond_)()) {
+        r.wake_ = std::max(r.clock_, *w);
+        set_state_locked(r, Rank::State::kReady);
+      } else {
+        ++i;
+      }
+    }
+    return;
+  }
   int remaining = blocked_count_;
   for (auto& r : ranks_) {
     if (remaining == 0) break;
@@ -260,6 +349,51 @@ void Engine::wake_satisfied_locked() {
     if (auto w = (*r->cond_)()) {
       r->wake_ = std::max(r->clock_, *w);
       set_state_locked(*r, Rank::State::kReady);
+    }
+  }
+}
+
+void Engine::register_gated_waiter_locked(Rank& r, WaitGate gate) {
+  for (GateChannel& ch : gates_) {
+    if (ch.counter == gate.counter) {
+      ch.waiters.emplace(gate.threshold, r.id_);
+      return;
+    }
+  }
+  GateChannel& ch = gates_.emplace_back();
+  ch.counter = gate.counter;
+  ch.waiters.emplace(gate.threshold, r.id_);
+}
+
+void Engine::wake_gated_locked() {
+  // One raw u64 load per live channel (typically one: the active collective
+  // or fence generation), then pop exactly the waiters whose threshold the
+  // counter has reached. Waiters whose threshold is still ahead are never
+  // visited — this is what keeps a P-rank wave O(P log P) instead of O(P²).
+  for (std::size_t g = 0; g < gates_.size();) {
+    GateChannel& ch = gates_[g];
+    while (!ch.waiters.empty() && *ch.counter >= ch.waiters.top().first) {
+      const int id = ch.waiters.top().second;
+      ch.waiters.pop();
+      Rank& r = *ranks_[static_cast<std::size_t>(id)];
+      // Stale entries (rank already unwound by an abort) are skipped; live
+      // ones must be satisfiable now — that is the WaitGate iff contract.
+      if (r.state_ != Rank::State::kBlocked || !r.gated_) continue;
+      MRL_CHECK(r.cond_ != nullptr);
+      const auto w = (*r.cond_)();
+      MRL_CHECK_MSG(w.has_value(),
+                    "WaitGate contract violated: counter reached the "
+                    "threshold but the wait condition is unsatisfiable");
+      r.wake_ = std::max(r.clock_, *w);
+      set_state_locked(r, Rank::State::kReady);
+    }
+    if (ch.waiters.empty()) {
+      // Swap-remove the drained channel so dead counters are not loaded
+      // (and cannot dangle) on later passes.
+      if (g + 1 != gates_.size()) gates_[g] = std::move(gates_.back());
+      gates_.pop_back();
+    } else {
+      ++g;
     }
   }
 }
@@ -311,14 +445,18 @@ void Engine::perform(Rank& r, const std::function<void()>& fn) {
 
 void Engine::wait(Rank& r, const char* what,
                   const std::function<std::optional<double>()>& cond,
-                  const std::function<void()>& finalize) {
+                  const std::function<void()>& finalize, WaitGate gate) {
   // Blocked duration is measured in virtual time (r.clock_), so it is
   // identical across backends and job counts by construction.
   const simnet::TimeUs t0 = r.clock_;
+  // The linear-scan scheduler ignores gates: it brute-force re-evaluates
+  // every blocked condition, which is exactly the oracle the cross-scheduler
+  // identity tests compare the gated path against.
+  if (opt_.scheduler != SchedulerKind::kIndexedHeap) gate = {};
   if (opt_.backend == EngineBackend::kFibers) {
-    fiber_wait(r, what, cond, finalize);
+    fiber_wait(r, what, cond, finalize, gate);
   } else {
-    thread_wait(r, what, cond, finalize);
+    thread_wait(r, what, cond, finalize, gate);
   }
   metrics_.on_wait(r.id_, r.clock_ - t0);
 }
@@ -437,7 +575,8 @@ void Engine::thread_perform(Rank& r, const std::function<void()>& fn) {
 
 void Engine::thread_wait(Rank& r, const char* what,
                          const std::function<std::optional<double>()>& cond,
-                         const std::function<void()>& finalize) {
+                         const std::function<void()>& finalize,
+                         WaitGate gate) {
   std::unique_lock lk(mu_);
   check_abort_locked(r);
   check_watchdog_locked(r);
@@ -470,6 +609,10 @@ void Engine::thread_wait(Rank& r, const char* what,
     }
     r.cond_ = &cond;
     r.what_ = what;
+    if (gate.counter != nullptr) {
+      r.gated_ = true;
+      register_gated_waiter_locked(r, gate);
+    }
     set_state_locked(r, Rank::State::kBlocked);
     if (holding) {
       // May detect a deadlock and set abort_ synchronously.
@@ -503,11 +646,15 @@ RunResult Engine::run_fibers(const std::function<void(Rank&)>& body) {
     // in fiber_exit_run().
     fiber_start_.resize(static_cast<std::size_t>(nranks_));
     fibers_.reserve(static_cast<std::size_t>(nranks_));
+    // Guarded stacks cost two kernel VMAs each and vm.max_map_count caps a
+    // process at ~65k mappings; past that, skip the guard pages and rely on
+    // the stack HWM sentinel (poison_stack) to audit headroom instead.
+    const bool guard = nranks_ <= 16384;
     for (int i = 0; i < nranks_; ++i) {
       fiber_start_[static_cast<std::size_t>(i)] = FiberStart{this, i};
       auto f = std::make_unique<Fiber>();
       f->create(opt_.fiber_stack_bytes, &Engine::fiber_entry,
-                &fiber_start_[static_cast<std::size_t>(i)]);
+                &fiber_start_[static_cast<std::size_t>(i)], guard);
       // Poisoning commits the stack pages, so only pay for it when the
       // metrics report will actually read the high-water marks.
       if (opt_.metrics) f->poison_stack();
@@ -620,7 +767,7 @@ void Engine::fiber_perform(Rank& r, const std::function<void()>& fn) {
 
 void Engine::fiber_wait(Rank& r, const char* what,
                         const std::function<std::optional<double>()>& cond,
-                        const std::function<void()>& finalize) {
+                        const std::function<void()>& finalize, WaitGate gate) {
   check_abort_locked(r);
   check_watchdog_locked(r);
   // Mirrors thread_wait exactly, including the `holding` rule: once this
@@ -648,6 +795,10 @@ void Engine::fiber_wait(Rank& r, const char* what,
     }
     r.cond_ = &cond;
     r.what_ = what;
+    if (gate.counter != nullptr) {
+      r.gated_ = true;
+      register_gated_waiter_locked(r, gate);
+    }
     set_state_locked(r, Rank::State::kBlocked);
     // Suspend until granted (wake_satisfied_locked re-queues us when the
     // condition becomes satisfiable; a later yield then picks us). Detects

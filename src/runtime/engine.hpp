@@ -38,9 +38,23 @@
 //     wait condition becomes satisfiable is re-queued but stays suspended
 //     until actually granted), and on the fiber backend a rank that remains
 //     the min-clock runnable rank continues with no switch at all;
-//   * the scheduler selects the min-clock rank from an incrementally
-//     maintained ready list instead of rescanning all ranks, and blocked
-//     -condition re-evaluation is skipped entirely while no rank is blocked.
+//   * the scheduler selects the min-clock rank from an indexed binary
+//     min-heap keyed (wake time, rank id) — push/erase/top are O(log n) with
+//     a per-rank position index, so dispatch cost no longer scales with the
+//     number of runnable ranks (DESIGN.md §10). Ties break toward the lowest
+//     rank id, exactly the order the legacy linear scan produced, so output
+//     is bit-identical to it (SchedulerKind::kLinearScan keeps the legacy
+//     structure selectable for the abl_design ablation and as a
+//     differential-testing oracle);
+//   * blocked-condition re-evaluation walks a dedicated blocked-rank index —
+//     only actual waiters are visited, never all ranks — and is skipped
+//     entirely while no rank is blocked;
+//   * collective-style waits carry a WaitGate (a monotone counter +
+//     threshold): gated waiters are parked in a per-counter threshold heap
+//     and their conditions are not re-evaluated at all until the counter
+//     reaches the threshold. Without this, a P-rank barrier/fence wave costs
+//     Σ|blocked| ≈ P²/2 condition closures (minutes of wall time at 100k
+//     ranks); with it a wave is O(P log P) (DESIGN.md §10).
 #pragma once
 
 #include <atomic>
@@ -50,8 +64,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/fiber.hpp"
@@ -60,6 +76,7 @@
 #include "simnet/platform.hpp"
 #include "simnet/time.hpp"
 #include "simnet/trace.hpp"
+#include "util/indexed_heap.hpp"
 #include "util/status.hpp"
 
 namespace mrl::runtime {
@@ -73,6 +90,20 @@ enum class EngineBackend {
 };
 
 [[nodiscard]] const char* to_string(EngineBackend b);
+
+/// Ready-queue data structure (DESIGN.md §10).
+enum class SchedulerKind {
+  kIndexedHeap,  ///< indexed binary min-heap over (wake, id); O(log n) dispatch
+  kLinearScan,   ///< legacy O(ranks) scan + std::find removal (ablation oracle)
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind s);
+
+/// Process-wide default scheduler for newly built EngineOptions (initially
+/// kIndexedHeap). Both produce bit-identical simulations; the linear scan is
+/// kept for the abl_design dispatch ablation and differential tests.
+[[nodiscard]] SchedulerKind default_scheduler();
+void set_default_scheduler(SchedulerKind s);
 
 /// Process-wide default backend for newly built EngineOptions. Starts at
 /// kFibers (coerced to kThreads in builds where fibers are unsupported,
@@ -91,6 +122,24 @@ void set_default_watchdog_virtual_us(double us);
 /// matters when metrics-enabled runs poison whole stacks for the HWM scan.
 [[nodiscard]] std::size_t default_fiber_stack_bytes();
 void set_default_fiber_stack_bytes(std::size_t bytes);
+
+/// Optional re-evaluation hint for Engine::wait (DESIGN.md §10). `counter`
+/// points at a monotonically nondecreasing std::uint64_t (e.g. a collective
+/// generation) that only changes inside Engine::perform bodies and outlives
+/// the wait. The contract is an iff: the wait condition is unsatisfiable
+/// while `*counter < threshold` and guaranteed satisfiable once
+/// `*counter >= threshold`. Gated waiters skip per-perform condition
+/// re-evaluation entirely — the engine parks them in a per-counter threshold
+/// heap and only evaluates the condition when the counter crosses the
+/// threshold, turning O(P²) collective waves into O(P log P). A
+/// default-constructed gate (null counter) means "no hint": the condition is
+/// re-evaluated after every perform, as always. The linear-scan scheduler
+/// ignores gates, preserving the legacy brute-force behaviour as a
+/// differential-testing oracle.
+struct WaitGate {
+  const std::uint64_t* counter = nullptr;
+  std::uint64_t threshold = 0;
+};
 
 /// Per-rank execution context. Handed by reference to the rank body; valid
 /// only for the duration of Engine::run().
@@ -142,6 +191,8 @@ class Rank {
   enum class State { kReady, kRunning, kBlocked, kDone };
   State state_ = State::kReady;
   simnet::TimeUs wake_ = 0;  ///< scheduling priority while kReady
+  int blocked_pos_ = -1;     ///< slot in Engine::blocked_ while kBlocked
+  bool gated_ = false;       ///< kBlocked via a WaitGate (parked in gates_)
   const std::function<std::optional<double>()>* cond_ = nullptr;
   const char* what_ = "";  ///< wait description for deadlock reports
   std::condition_variable cv_;  ///< thread backend only
@@ -160,6 +211,9 @@ struct EngineOptions {
   /// Rank execution backend. kFibers is coerced to kThreads in builds where
   /// fibers are unsupported (TSan — see fibers_supported()).
   EngineBackend backend = default_backend();
+  /// Ready-queue structure. kIndexedHeap and kLinearScan produce bit-identical
+  /// simulations; the linear scan exists for ablation and differential tests.
+  SchedulerKind scheduler = default_scheduler();
   /// Usable stack bytes per rank fiber (fiber backend only). Stacks are
   /// lazily committed virtual memory with a guard page, so thousands of
   /// ranks are cheap; raise this for rank bodies with deep call chains or
@@ -200,6 +254,7 @@ class Engine {
   [[nodiscard]] int nranks() const { return nranks_; }
   /// Backend actually in use (after any TSan coercion).
   [[nodiscard]] EngineBackend backend() const { return opt_.backend; }
+  [[nodiscard]] SchedulerKind scheduler() const { return opt_.scheduler; }
   [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] simnet::Trace& trace() { return trace_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
@@ -236,10 +291,13 @@ class Engine {
   /// must be monotonic: once satisfiable it stays satisfiable. `what` labels
   /// the wait in deadlock reports. If `finalize` is non-null it runs
   /// immediately after the clock update (e.g. to consume the matched message
-  /// atomically with the wake decision).
+  /// atomically with the wake decision). `gate`, when non-null, is a
+  /// monotone-counter re-evaluation hint (see WaitGate): the engine will not
+  /// re-test `cond` until `*gate.counter >= gate.threshold`.
   void wait(Rank& r, const char* what,
             const std::function<std::optional<double>()>& cond,
-            const std::function<void()>& finalize = {});
+            const std::function<void()>& finalize = {},
+            WaitGate gate = {});
 
  private:
   struct AbortException {};
@@ -269,7 +327,7 @@ class Engine {
   void thread_perform(Rank& r, const std::function<void()>& fn);
   void thread_wait(Rank& r, const char* what,
                    const std::function<std::optional<double>()>& cond,
-                   const std::function<void()>& finalize);
+                   const std::function<void()>& finalize, WaitGate gate);
 
   // Fiber backend.
   RunResult run_fibers(const std::function<void(Rank&)>& body);
@@ -280,7 +338,12 @@ class Engine {
   void fiber_perform(Rank& r, const std::function<void()>& fn);
   void fiber_wait(Rank& r, const char* what,
                   const std::function<std::optional<double>()>& cond,
-                  const std::function<void()>& finalize);
+                  const std::function<void()>& finalize, WaitGate gate);
+
+  // WaitGate registration (kIndexedHeap only; the linear scan ignores
+  // gates). One channel per distinct counter pointer with live waiters.
+  void register_gated_waiter_locked(Rank& r, WaitGate gate);
+  void wake_gated_locked();
 
   simnet::Platform platform_;
   int nranks_;
@@ -311,10 +374,30 @@ class Engine {
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<FiberStart> fiber_start_;
 
-  // Scheduler state, reset per run. ready_ holds exactly the ids whose
-  // state is kReady; blocked_count_ counts kBlocked ranks.
+  // Scheduler state, reset per run. Exactly the ids whose state is kReady
+  // live in ready_heap_ (kIndexedHeap) or ready_ (kLinearScan); exactly the
+  // kBlocked ids live in blocked_ (kIndexedHeap — the blocked-rank index
+  // that wake_satisfied_locked walks instead of all ranks), and
+  // blocked_count_ counts them under either scheduler.
+  util::IndexedMinHeap<simnet::TimeUs> ready_heap_;
   std::vector<int> ready_;
+  std::vector<int> blocked_;
   int blocked_count_ = 0;
+  // Gated waiters (WaitGate, kIndexedHeap only): one channel per distinct
+  // monotone counter, waiters ordered by (threshold, rank id) so equal
+  // thresholds drain in ascending rank order. Channels with no waiters are
+  // swap-removed; the whole registry is cleared per run. Gated ranks are
+  // kBlocked and counted in blocked_count_ but are NOT in blocked_ — they
+  // are re-evaluated only when their counter crosses their threshold.
+  struct GateChannel {
+    const std::uint64_t* counter = nullptr;
+    std::priority_queue<std::pair<std::uint64_t, int>,
+                        std::vector<std::pair<std::uint64_t, int>>,
+                        std::greater<>>
+        waiters;
+  };
+  std::vector<GateChannel> gates_;
+  int gated_count_ = 0;
   int granted_ = -1;
   int done_count_ = 0;
   bool abort_ = false;

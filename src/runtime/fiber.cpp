@@ -171,7 +171,8 @@ Fiber::~Fiber() {
 #endif
 }
 
-void Fiber::create(std::size_t stack_bytes, void (*entry)(void*), void* arg) {
+void Fiber::create(std::size_t stack_bytes, void (*entry)(void*), void* arg,
+                   bool guard) {
   MRL_CHECK_MSG(stack_mem_ == nullptr, "fiber already created");
   MRL_CHECK_MSG(fibers_supported(),
                 "fiber backend is unavailable in this build (TSan)");
@@ -181,15 +182,20 @@ void Fiber::create(std::size_t stack_bytes, void (*entry)(void*), void* arg) {
   const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
   std::size_t usable = (stack_bytes + page - 1) & ~(page - 1);
   if (usable < 4 * page) usable = 4 * page;  // floor for the entry frames
-  void* mem = ::mmap(nullptr, usable + page, PROT_READ | PROT_WRITE,
+  guard_bytes_ = guard ? page : 0;
+  void* mem = ::mmap(nullptr, usable + guard_bytes_, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
   MRL_CHECK_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
-  // Guard page at the low end: stacks grow down, so running off the end
-  // faults here instead of scribbling over the neighboring mapping.
-  MRL_CHECK(::mprotect(mem, page, PROT_NONE) == 0);
+  if (guard) {
+    // Guard page at the low end: stacks grow down, so running off the end
+    // faults here instead of scribbling over the neighboring mapping.
+    // Skipped (guard=false) for 100k+-rank worlds: each PROT_NONE page
+    // splits off two VMAs and vm.max_map_count caps the process at ~65k.
+    MRL_CHECK(::mprotect(mem, page, PROT_NONE) == 0);
+  }
   stack_mem_ = mem;
-  stack_total_ = usable + page;
-  char* lo = static_cast<char*>(mem) + page;
+  stack_total_ = usable + guard_bytes_;
+  char* lo = static_cast<char*>(mem) + guard_bytes_;
 #if defined(MRL_FIBER_ASAN)
   asan_bottom_ = lo;
   asan_size_ = usable;
@@ -266,9 +272,7 @@ MRL_NO_ASAN const unsigned char* scan_first_touched(const unsigned char* lo,
 
 void Fiber::poison_stack() {
   MRL_CHECK_MSG(stack_mem_ != nullptr, "poison_stack before create");
-  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
-  char* lo = static_cast<char*>(stack_mem_) + page;
-  const std::size_t usable = stack_total_ - page;
+  char* lo = static_cast<char*>(stack_mem_) + guard_bytes_;
 #if defined(MRL_FIBER_ASM)
   // Everything below the crafted restore area is virgin stack.
   const std::size_t fill = static_cast<std::size_t>(
@@ -276,6 +280,7 @@ void Fiber::poison_stack() {
 #else
   // makecontext() parked its trampoline frame near the top; leave a margin
   // so the fill cannot clobber it.
+  const std::size_t usable = stack_total_ - guard_bytes_;
   constexpr std::size_t kUcontextMargin = 512;
   const std::size_t fill = usable > kUcontextMargin ? usable - kUcontextMargin
                                                     : 0;
@@ -286,10 +291,9 @@ void Fiber::poison_stack() {
 
 std::size_t Fiber::stack_high_water_bytes() const {
   if (!poisoned_ || stack_mem_ == nullptr) return 0;
-  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
   const auto* lo =
-      reinterpret_cast<const unsigned char*>(stack_mem_) + page;
-  const std::size_t usable = stack_total_ - page;
+      reinterpret_cast<const unsigned char*>(stack_mem_) + guard_bytes_;
+  const std::size_t usable = stack_total_ - guard_bytes_;
   const unsigned char* hi = lo + usable;
   const unsigned char* first = scan_first_touched(lo, hi);
   return static_cast<std::size_t>(hi - first);
@@ -297,8 +301,7 @@ std::size_t Fiber::stack_high_water_bytes() const {
 
 std::size_t Fiber::stack_usable_bytes() const {
   if (stack_mem_ == nullptr) return 0;
-  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
-  return stack_total_ - page;
+  return stack_total_ - guard_bytes_;
 }
 
 void Fiber::adopt_thread() {

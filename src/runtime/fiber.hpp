@@ -35,12 +35,18 @@ class Fiber {
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
-  /// Allocates a guard-paged stack of (at least) `stack_bytes` usable bytes
-  /// and primes the fiber so the first switch_to() into it enters
-  /// `entry(arg)`. `entry` must never return — a fiber ends its life
-  /// suspended in a switch_to() away from itself (or is simply destroyed
-  /// while parked).
-  void create(std::size_t stack_bytes, void (*entry)(void*), void* arg);
+  /// Allocates a stack of (at least) `stack_bytes` usable bytes and primes
+  /// the fiber so the first switch_to() into it enters `entry(arg)`.
+  /// `entry` must never return — a fiber ends its life suspended in a
+  /// switch_to() away from itself (or is simply destroyed while parked).
+  ///
+  /// `guard` adds a PROT_NONE page below the usable region so an overflow
+  /// faults immediately. Each guarded stack costs two kernel VMAs, and
+  /// Linux caps a process at vm.max_map_count (~65k) mappings — so engines
+  /// with very large worlds (100k+ ranks) must pass guard=false and rely on
+  /// the stack high-water-mark sentinel to audit headroom instead.
+  void create(std::size_t stack_bytes, void (*entry)(void*), void* arg,
+              bool guard = true);
 
   /// Marks this Fiber as the calling OS thread's native context so created
   /// fibers can switch back to it. Call before the first switch of every
@@ -76,6 +82,7 @@ class Fiber {
   void* uctx_ = nullptr;        ///< ucontext backend: heap ucontext_t
   void* stack_mem_ = nullptr;   ///< mmap base (guard page + usable stack)
   std::size_t stack_total_ = 0; ///< total mapped bytes incl. guard page
+  std::size_t guard_bytes_ = 0; ///< PROT_NONE prefix (0 = unguarded stack)
   void (*entry_)(void*) = nullptr;
   void* arg_ = nullptr;
   bool poisoned_ = false;       ///< stack filled with the HWM sentinel

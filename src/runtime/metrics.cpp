@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -227,6 +228,14 @@ void MetricsRegistry::publish(const MetricsReport& report) {
   totals_.add(t.ops);
   msg_bytes_.merge(t.msg_bytes);
   wait_us_.merge(t.wait_us);
+  for (const LinkMetrics& l : report.links) {
+    // Each report's doubles are deterministic per run; quantizing them to
+    // integer picoseconds before summing keeps the aggregate commutative.
+    LinkAgg& a = links_[{l.name, l.dir}];
+    a.msgs += l.msgs;
+    a.busy_pico += static_cast<std::uint64_t>(std::llround(l.busy_us * 1e6));
+    a.queue_pico += static_cast<std::uint64_t>(std::llround(l.queue_us * 1e6));
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -237,11 +246,34 @@ void MetricsRegistry::reset() {
   totals_ = OpCounters{};
   msg_bytes_ = Log2Histogram{};
   wait_us_ = Log2Histogram{};
+  links_.clear();
 }
 
 std::uint64_t MetricsRegistry::runs() const {
   std::lock_guard lk(mu_);
   return runs_;
+}
+
+OpCounters MetricsRegistry::totals() const {
+  std::lock_guard lk(mu_);
+  return totals_;
+}
+
+std::vector<MetricsRegistry::LinkTotals> MetricsRegistry::link_totals()
+    const {
+  std::lock_guard lk(mu_);
+  std::vector<LinkTotals> out;
+  out.reserve(links_.size());
+  for (const auto& [key, agg] : links_) {
+    LinkTotals t;
+    t.name = key.first;
+    t.dir = key.second;
+    t.msgs = agg.msgs;
+    t.busy_pico = agg.busy_pico;
+    t.queue_pico = agg.queue_pico;
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 std::vector<std::vector<std::string>> MetricsRegistry::csv_rows() const {
@@ -254,6 +286,14 @@ std::vector<std::vector<std::string>> MetricsRegistry::csv_rows() const {
   rows.push_back({"total", "", "max_makespan_us", fmt_f64(max_makespan_us_)});
   hist_rows(rows, "hist_msg_bytes", msg_bytes_);
   hist_rows(rows, "hist_wait_us", wait_us_);
+  for (const auto& [key, agg] : links_) {
+    const std::string id = key.first + ":" + std::to_string(key.second);
+    rows.push_back({"link", id, "msgs", fmt_u64(agg.msgs)});
+    rows.push_back({"link", id, "busy_us",
+                    fmt_f64(static_cast<double>(agg.busy_pico) * 1e-6)});
+    rows.push_back({"link", id, "queue_us",
+                    fmt_f64(static_cast<double>(agg.queue_pico) * 1e-6)});
+  }
   return rows;
 }
 

@@ -24,8 +24,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simnet/trace.hpp"
@@ -174,14 +176,44 @@ class MetricsRegistry {
   void reset();
 
   [[nodiscard]] std::uint64_t runs() const;
-  /// CSV of the aggregate (total + histogram sections). Every cell derives
-  /// from commutative accumulation, so the bytes are independent of publish
-  /// order — i.e. of backend and job count.
+  /// Aggregate op-counter totals across every published run (exact u64 sums;
+  /// the perf harness derives simulated-ops/sec from these).
+  [[nodiscard]] OpCounters totals() const;
+
+  /// One link type's aggregate across all published runs, keyed by
+  /// (spec name, direction) — parallel links sharing a spec merge. Times
+  /// accumulate as integer picoseconds (llround(us * 1e6)) so the sums are
+  /// commutative: publish order (backend, job count) cannot change them.
+  struct LinkTotals {
+    std::string name;
+    int dir = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t busy_pico = 0;
+    std::uint64_t queue_pico = 0;
+    [[nodiscard]] double busy_us() const {
+      return static_cast<double>(busy_pico) * 1e-6;
+    }
+    [[nodiscard]] double queue_us() const {
+      return static_cast<double>(queue_pico) * 1e-6;
+    }
+  };
+  /// Sorted by (name, dir); deterministic regardless of publish order.
+  [[nodiscard]] std::vector<LinkTotals> link_totals() const;
+
+  /// CSV of the aggregate (total + histogram + link sections). Every cell
+  /// derives from commutative accumulation, so the bytes are independent of
+  /// publish order — i.e. of backend and job count.
   [[nodiscard]] std::vector<std::vector<std::string>> csv_rows() const;
   Status write_csv(const std::string& path) const;
 
  private:
   MetricsRegistry() = default;
+
+  struct LinkAgg {
+    std::uint64_t msgs = 0;
+    std::uint64_t busy_pico = 0;
+    std::uint64_t queue_pico = 0;
+  };
 
   mutable std::mutex mu_;
   std::uint64_t runs_ = 0;
@@ -190,6 +222,7 @@ class MetricsRegistry {
   OpCounters totals_;
   Log2Histogram msg_bytes_;
   Log2Histogram wait_us_;
+  std::map<std::pair<std::string, int>, LinkAgg> links_;
 };
 
 /// Writes report/registry rows to `path` (thin write_csv_file wrapper).

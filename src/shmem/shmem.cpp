@@ -15,7 +15,7 @@ World::World(runtime::Engine& engine, Options opt)
   for (auto& h : heap_) h.assign(opt_.heap_bytes, std::byte{0});
   pending_.resize(static_cast<std::size_t>(npes_));
   outstanding_.resize(static_cast<std::size_t>(npes_));
-  fifo_last_.assign(static_cast<std::size_t>(npes_) * npes_, 0.0);
+  fifo_last_.reset(npes_);
 }
 
 runtime::RunResult World::run(runtime::Engine& engine,
@@ -29,11 +29,9 @@ runtime::RunResult World::run(runtime::Engine& engine,
 }
 
 simnet::TimeUs World::clamp_fifo(int src, int dst, simnet::TimeUs arrival) {
-  const std::size_t idx =
-      static_cast<std::size_t>(src) * static_cast<std::size_t>(npes_) +
-      static_cast<std::size_t>(dst);
-  fifo_last_[idx] = std::max(fifo_last_[idx], arrival);
-  return fifo_last_[idx];
+  simnet::TimeUs& last = fifo_last_.at(src, dst);
+  last = std::max(last, arrival);
+  return last;
 }
 
 void World::apply_locked(int pe, simnet::TimeUs cutoff) {
@@ -348,11 +346,15 @@ double Ctx::sum_all(double v) {
     }
   });
   const World::CollSlot& slot = world_->done_[my_gen % 4];
-  eng.wait(*rank_, "shmem.barrier_all", [&]() -> std::optional<double> {
-    if (world_->gen_ <= my_gen) return std::nullopt;
-    MRL_CHECK(slot.gen == my_gen);
-    return slot.done_at;
-  });
+  // Gated on the barrier generation (see runtime::WaitGate, DESIGN.md §10).
+  eng.wait(
+      *rank_, "shmem.barrier_all",
+      [&]() -> std::optional<double> {
+        if (world_->gen_ <= my_gen) return std::nullopt;
+        MRL_CHECK(slot.gen == my_gen);
+        return slot.done_at;
+      },
+      {}, runtime::WaitGate{&world_->gen_, my_gen + 1});
   rank_->bump_epoch();
   eng.metrics().on_collective(pe());
   return slot.sum;

@@ -17,6 +17,7 @@
 #include "runtime/engine.hpp"
 #include "simnet/loggp.hpp"
 #include "simnet/trace.hpp"
+#include "util/pair_map.hpp"
 
 namespace mrl::shmem {
 
@@ -94,7 +95,9 @@ class World {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> alloc_log_;
   std::vector<std::vector<Delivery>> pending_;      // per destination PE
   std::vector<std::vector<Outstanding>> outstanding_;  // per origin PE
-  std::vector<simnet::TimeUs> fifo_last_;
+  // Keyed (src, dst); sparse above PairMap::kDenseRanks so large worlds
+  // don't materialize O(P^2) channel state.
+  util::PairMap<simnet::TimeUs> fifo_last_;
   std::uint64_t seq_ = 0;
 
   // barrier_all rendezvous

@@ -14,6 +14,7 @@ Fabric::Fabric(const Topology* topo, RouteMode mode, double local_bw_gbs,
       mode_(mode),
       local_bw_gbs_(local_bw_gbs),
       local_latency_us_(local_latency_us),
+      local_ser_(local_bw_gbs),
       fault_(faults, topo != nullptr ? topo->num_links() * 2 : 0) {
   MRL_CHECK(topo_ != nullptr && topo_->finalized());
   MRL_CHECK(local_bw_gbs_ > 0);
@@ -48,9 +49,9 @@ TransferResult Fabric::transfer(const TransferParams& p) {
   r.inject_free_us = inj;
 
   if (p.src_ep == p.dst_ep) {
-    // Same-endpoint (shared-memory) transfer.
-    double ser =
-        static_cast<double>(p.bytes) * gbs_to_us_per_byte(local_bw_gbs_);
+    // Same-endpoint (shared-memory) transfer. The local rate's per-byte cost
+    // is pre-derived once (SerCost) — same value as dividing per message.
+    double ser = local_ser_.ser_us(p.bytes);
     if (p.per_stream_gbs > 0) {
       ser = std::max(ser, static_cast<double>(p.bytes) *
                               gbs_to_us_per_byte(p.per_stream_gbs));
@@ -78,24 +79,23 @@ TransferResult Fabric::transfer(const TransferParams& p) {
       TimeUs start;
       double occupancy;
     };
-    std::vector<Claim> claims;
-    claims.reserve(path.size());
+    // Claim records live for one transfer(): bump-allocated from the fabric
+    // scratch arena instead of a fresh heap vector per message.
+    scratch_.reset();
+    Claim* claims = scratch_.alloc_array<Claim>(path.size());
+    std::size_t nclaims = 0;
     int total_drops = 0;
     for (const DirectedLink& dl : path) {
-      const LinkSpec& spec = topo_->link(dl.link);
       LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
-      const int lane = st.earliest_lane();
-      const TimeUs start = std::max(head, st.lane_free_at(lane));
+      const LinkState::LaneClaim lc = st.claim(head);
       // Fault perturbation for this message-hop: neutral (0 extra latency,
       // 1.0 bandwidth scale, 0 drops) unless a FaultSpec is active, so the
       // arithmetic below stays bit-identical on a pristine fabric.
-      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), start);
-      st.note_msg();
-      st.add_queue(start - head);  // lane wait beyond pure head propagation
-      claims.push_back(Claim{&st, lane, start, spec.msg_occupancy_us});
-      head = start + spec.latency_us + hf.extra_latency_us;
+      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), lc.start);
+      claims[nclaims++] = Claim{&st, lc.lane, lc.start, st.msg_occupancy_us()};
+      head = lc.start + st.latency_us() + hf.extra_latency_us;
       bottleneck_gbs =
-          std::min(bottleneck_gbs, spec.channel_gbs() * hf.bw_scale);
+          std::min(bottleneck_gbs, st.channel_gbs() * hf.bw_scale);
       total_drops += hf.drops;
     }
     const double ser =
@@ -111,25 +111,23 @@ TransferResult Fabric::transfer(const TransferParams& p) {
     r.drops = total_drops;
     // Each claimed lane is busy until the tail has passed it (or for the
     // link's per-message occupancy floor, whichever is longer).
-    for (const Claim& c : claims) {
+    for (std::size_t i = 0; i < nclaims; ++i) {
+      const Claim& c = claims[i];
       const double hold = std::max(ser + drop_extra, c.occupancy);
       c.state->set_lane_free_at(c.lane, c.start + hold);
       c.state->add_busy(hold);
     }
   } else {
-    // Store-and-forward: the whole message is serialized on every hop.
+    // Store-and-forward: the whole message is serialized on every hop. The
+    // per-lane rate is pre-derived in the LinkState (SerCost), so a pristine
+    // hop costs a multiply; a fault-scaled hop re-derives exactly as before.
     TimeUs t = inject_start;
     int total_drops = 0;
     for (const DirectedLink& dl : path) {
-      const LinkSpec& spec = topo_->link(dl.link);
       LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
-      const int lane = st.earliest_lane();
-      const TimeUs start = std::max(t, st.lane_free_at(lane));
-      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), start);
-      st.note_msg();
-      st.add_queue(start - t);
-      double ser = static_cast<double>(p.bytes) *
-                   gbs_to_us_per_byte(spec.channel_gbs() * hf.bw_scale);
+      const LinkState::LaneClaim lc = st.claim(t);
+      const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), lc.start);
+      double ser = st.ser().ser_us_scaled(p.bytes, hf.bw_scale);
       if (p.per_stream_gbs > 0) {
         ser = std::max(ser, static_cast<double>(p.bytes) *
                                 gbs_to_us_per_byte(p.per_stream_gbs));
@@ -139,10 +137,10 @@ TransferResult Fabric::transfer(const TransferParams& p) {
           hf.drops == 0
               ? 0.0
               : hf.drops * (fault_.spec().retransmit_timeout_us + ser);
-      const double lat = spec.latency_us + hf.extra_latency_us;
-      const double hold = std::max(ser + drop_extra, spec.msg_occupancy_us);
-      t = start + lat + ser + drop_extra;
-      st.set_lane_free_at(lane, start + lat + hold);
+      const double lat = st.latency_us() + hf.extra_latency_us;
+      const double hold = std::max(ser + drop_extra, st.msg_occupancy_us());
+      t = lc.start + lat + ser + drop_extra;
+      st.set_lane_free_at(lc.lane, lc.start + lat + hold);
       st.add_busy(hold);
       total_drops += hf.drops;
     }

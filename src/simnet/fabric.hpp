@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "simnet/fault.hpp"
+#include "simnet/loggp.hpp"
 #include "simnet/time.hpp"
 #include "simnet/topology.hpp"
+#include "util/arena.hpp"
 
 namespace mrl::simnet {
 
@@ -93,9 +95,11 @@ class Fabric {
   RouteMode mode_;
   double local_bw_gbs_;
   double local_latency_us_;
+  SerCost local_ser_;                       // pre-derived shared-memory rate
   std::vector<TimeUs> injector_free_;       // per source rank (grown on use)
   std::vector<LinkState> dlink_state_;      // per directed link (2 per link)
   FaultModel fault_;                        // seeded fault perturbations
+  util::Arena scratch_;                     // per-transfer claim records
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_msgs_ = 0;
 };

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "simnet/loggp.hpp"
 #include "simnet/time.hpp"
+#include "util/indexed_heap.hpp"
 
 namespace mrl::simnet {
 
@@ -36,18 +38,44 @@ struct LinkSpec {
 };
 
 /// Mutable contention state for ONE direction of a link: when each lane is
-/// next free. The fabric picks the earliest-available lane per transfer.
+/// next free, plus the spec-derived per-message costs cached once at
+/// construction so the fabric's per-hop loop never re-derives them.
+///
+/// Lane selection is incremental: a single-lane link short-circuits to lane
+/// 0, a multi-lane link keeps an indexed min-heap over (free-at, lane) whose
+/// top is exactly the first minimum a linear std::min_element scan would
+/// return (ties break toward the lowest lane index).
 class LinkState {
  public:
   explicit LinkState(const LinkSpec& spec);
 
   /// Picks the lane that frees earliest; returns its index.
-  [[nodiscard]] int earliest_lane() const;
+  [[nodiscard]] int earliest_lane() const {
+    return lane_next_free_.size() == 1 ? 0 : lane_heap_.top();
+  }
 
   [[nodiscard]] TimeUs lane_free_at(int lane) const {
     return lane_next_free_[lane];
   }
-  void set_lane_free_at(int lane, TimeUs t) { lane_next_free_[lane] = t; }
+  void set_lane_free_at(int lane, TimeUs t);
+
+  /// Spec-derived constants (identical values to re-deriving per message).
+  [[nodiscard]] double channel_gbs() const { return ser_.gbs(); }
+  [[nodiscard]] double latency_us() const { return latency_us_; }
+  [[nodiscard]] double msg_occupancy_us() const { return msg_occupancy_us_; }
+  /// Pre-derived one-lane serialization cost (see SerCost).
+  [[nodiscard]] const SerCost& ser() const { return ser_; }
+
+  /// A lane grant for one message whose head reaches this hop at `head`.
+  struct LaneClaim {
+    int lane = 0;      ///< claimed lane index
+    TimeUs start = 0;  ///< when serialization starts (head or lane-free time)
+  };
+
+  /// Claims the earliest-free lane, accounting the head-of-line wait and the
+  /// message count. The caller publishes the hold via set_lane_free_at()
+  /// once the tail time is known.
+  [[nodiscard]] LaneClaim claim(TimeUs head);
 
   [[nodiscard]] int num_lanes() const {
     return static_cast<int>(lane_next_free_.size());
@@ -69,6 +97,10 @@ class LinkState {
 
  private:
   std::vector<TimeUs> lane_next_free_;
+  util::IndexedMinHeap<TimeUs> lane_heap_;  ///< only populated for >1 lanes
+  SerCost ser_;
+  double latency_us_ = 0.0;
+  double msg_occupancy_us_ = 0.0;
   double busy_us_ = 0.0;
   double queue_us_ = 0.0;
   std::uint64_t msgs_ = 0;

@@ -2,7 +2,23 @@
 
 #include <cstdio>
 
+#include "util/units.hpp"
+
 namespace mrl::simnet {
+
+SerCost::SerCost(double gbs)
+    : gbs_(gbs), us_per_byte_(gbs > 0 ? gbs_to_us_per_byte(gbs) : 0.0) {}
+
+double SerCost::ser_us_scaled(std::uint64_t bytes, double bw_scale) const {
+  const double eff_gbs = gbs_ * bw_scale;
+  if (eff_gbs == gbs_) return ser_us(bytes);  // pristine fast path, exact
+  return static_cast<double>(bytes) * gbs_to_us_per_byte(eff_gbs);
+}
+
+double batch_inject_us(const LogGP& p, std::uint64_t n) {
+  if (n == 0) return 0.0;
+  return p.o_us + static_cast<double>(n - 1) * p.g_us;
+}
 
 std::string LogGP::to_string() const {
   char buf[160];

@@ -10,6 +10,7 @@
 //       per-stream cap used by the analytical model
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace mrl::simnet {
@@ -35,6 +36,42 @@ struct LogGP {
 
   [[nodiscard]] std::string to_string() const;
 };
+
+/// Pre-derived serialization cost for a stream of messages through one lane
+/// (or one shared-memory path). Costing a message under LogGP's G term means
+/// converting a bandwidth to microseconds-per-byte — a divide. A lane's rate
+/// is fixed, so the divide is hoisted here and each queued op pays a multiply.
+///
+/// The scaled overload keeps fault-perturbed hops exact: when the bandwidth
+/// scale leaves the rate unchanged (scale == 1.0, the pristine-fabric common
+/// case) the pre-derived rate is bit-identical to re-deriving; otherwise it
+/// falls back to the full per-message derivation.
+class SerCost {
+ public:
+  SerCost() = default;
+  explicit SerCost(double gbs);
+
+  [[nodiscard]] double gbs() const { return gbs_; }
+
+  /// Microseconds to serialize `bytes` at the pre-derived rate.
+  [[nodiscard]] double ser_us(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) * us_per_byte_;
+  }
+
+  /// Microseconds to serialize `bytes` at `gbs() * bw_scale`.
+  [[nodiscard]] double ser_us_scaled(std::uint64_t bytes,
+                                     double bw_scale) const;
+
+ private:
+  double gbs_ = 0;
+  double us_per_byte_ = 0;
+};
+
+/// Closed-form LogGP injection cost for a back-to-back batch of n messages
+/// from one endpoint: the first pays the overhead o, each successive launch
+/// is separated by the gap g. Used when a runtime costs a whole queue of
+/// same-shaped ops at once instead of looping per message.
+[[nodiscard]] double batch_inject_us(const LogGP& p, std::uint64_t n);
 
 /// The communication runtimes the paper compares.
 enum class Runtime {

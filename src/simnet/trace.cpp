@@ -1,7 +1,7 @@
 #include "simnet/trace.hpp"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 #include "util/units.hpp"
 
@@ -20,27 +20,44 @@ std::string to_string(OpKind k) {
 }
 
 namespace {
-TraceSummary summarize_records(const std::vector<const MsgRecord*>& recs) {
+// One pass over the records in recorded order — the floating-point
+// accumulation order is exactly the order the old ref-vector walk used, so
+// the summary values are bit-identical. Distinct (sender, epoch) pairs are
+// counted with a sort+unique over an arena scratch array instead of a
+// node-per-element std::set.
+template <typename Pred>
+TraceSummary summarize_filtered(const std::vector<MsgRecord>& records,
+                                util::Arena& scratch, Pred pred) {
   TraceSummary s;
-  if (recs.empty()) return s;
-  s.num_msgs = recs.size();
-  double first_issue = recs.front()->t_issue;
-  double last_arrival = recs.front()->t_arrival;
+  scratch.reset();
+  using Epoch = std::pair<std::int32_t, std::uint64_t>;  // (sender, epoch)
+  Epoch* epochs = scratch.alloc_array<Epoch>(records.size());
+  std::size_t ne = 0;
+  double first_issue = 0;
+  double last_arrival = 0;
   double lat_sum = 0;
-  s.min_msg_bytes = static_cast<double>(recs.front()->bytes);
-  s.max_msg_bytes = s.min_msg_bytes;
-  std::set<std::pair<std::int32_t, std::uint64_t>> epochs;  // (sender, epoch)
-  for (const MsgRecord* r : recs) {
-    s.total_bytes += static_cast<double>(r->bytes);
-    lat_sum += r->t_arrival - r->t_issue;
-    first_issue = std::min(first_issue, r->t_issue);
-    last_arrival = std::max(last_arrival, r->t_arrival);
-    s.min_msg_bytes = std::min(s.min_msg_bytes, static_cast<double>(r->bytes));
-    s.max_msg_bytes = std::max(s.max_msg_bytes, static_cast<double>(r->bytes));
-    s.total_drops += static_cast<std::uint64_t>(r->drops);
-    epochs.insert({r->src_rank, r->epoch});
+  for (const MsgRecord& r : records) {
+    if (!pred(r)) continue;
+    if (s.num_msgs == 0) {
+      first_issue = r.t_issue;
+      last_arrival = r.t_arrival;
+      s.min_msg_bytes = static_cast<double>(r.bytes);
+      s.max_msg_bytes = s.min_msg_bytes;
+    }
+    ++s.num_msgs;
+    s.total_bytes += static_cast<double>(r.bytes);
+    lat_sum += r.t_arrival - r.t_issue;
+    first_issue = std::min(first_issue, r.t_issue);
+    last_arrival = std::max(last_arrival, r.t_arrival);
+    s.min_msg_bytes = std::min(s.min_msg_bytes, static_cast<double>(r.bytes));
+    s.max_msg_bytes = std::max(s.max_msg_bytes, static_cast<double>(r.bytes));
+    s.total_drops += static_cast<std::uint64_t>(r.drops);
+    epochs[ne++] = Epoch{r.src_rank, r.epoch};
   }
-  s.num_epochs = epochs.size();
+  if (s.num_msgs == 0) return s;
+  std::sort(epochs, epochs + ne);
+  s.num_epochs =
+      static_cast<std::uint64_t>(std::unique(epochs, epochs + ne) - epochs);
   s.avg_msg_bytes = s.total_bytes / static_cast<double>(s.num_msgs);
   s.avg_msgs_per_sync =
       static_cast<double>(s.num_msgs) / static_cast<double>(s.num_epochs);
@@ -53,17 +70,13 @@ TraceSummary summarize_records(const std::vector<const MsgRecord*>& recs) {
 }  // namespace
 
 TraceSummary Trace::summarize() const {
-  std::vector<const MsgRecord*> refs;
-  refs.reserve(records_.size());
-  for (const auto& r : records_) refs.push_back(&r);
-  return summarize_records(refs);
+  return summarize_filtered(records_, scratch_,
+                            [](const MsgRecord&) { return true; });
 }
 
 TraceSummary Trace::summarize(OpKind kind) const {
-  std::vector<const MsgRecord*> refs;
-  for (const auto& r : records_)
-    if (r.kind == kind) refs.push_back(&r);
-  return summarize_records(refs);
+  return summarize_filtered(records_, scratch_,
+                            [kind](const MsgRecord& r) { return r.kind == kind; });
 }
 
 }  // namespace mrl::simnet

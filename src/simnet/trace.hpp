@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "simnet/time.hpp"
+#include "util/arena.hpp"
 
 namespace mrl::simnet {
 
@@ -72,6 +73,9 @@ class Trace {
  private:
   bool enabled_ = false;
   std::vector<MsgRecord> records_;
+  /// Scratch for the (sender, epoch) pairs built while summarizing; reused
+  /// across calls instead of allocating a node-based set per summary.
+  mutable util::Arena scratch_;
 };
 
 }  // namespace mrl::simnet

@@ -1,0 +1,114 @@
+// Map keyed by an ordered (src, dst) rank pair.
+//
+// The FIFO-channel state in mpi::World and shmem::World is logically a
+// P x P matrix, but real communication patterns touch only the pairs that
+// actually exchange messages (a stencil rank talks to 4 neighbors, not to
+// all P-1). A dense matrix is the fastest representation up to a few
+// thousand ranks and an O(P^2) memory wall above it — 100k ranks would
+// materialize 80 GB per matrix. PairMap keeps the dense array below
+// kDenseRanks and switches to an open-addressing hash table above it, so
+// lookups stay O(1) either way and storage tracks the touched-pair count.
+//
+// Determinism: the map is only ever accessed by key (never iterated), and
+// every entry is default-constructed on first touch — exactly the dense
+// array's semantics — so the representation cannot influence simulation
+// results, let alone output bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mrl::util {
+
+template <typename V>
+class PairMap {
+ public:
+  /// Largest world size that still uses the dense representation
+  /// (2048^2 * 8 B = 32 MB per matrix — cheap; 4096^2 would be 128 MB).
+  static constexpr int kDenseRanks = 2048;
+
+  /// (Re)dimensions for an nranks-sized world and drops all entries.
+  void reset(int nranks) {
+    MRL_CHECK(nranks >= 0);
+    n_ = nranks;
+    if (n_ <= kDenseRanks) {
+      dense_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                    V{});
+      keys_.clear();
+      vals_.clear();
+      mask_ = 0;
+      used_ = 0;
+    } else {
+      dense_.clear();
+      dense_.shrink_to_fit();
+      keys_.assign(kInitialSlots, kEmpty);
+      vals_.assign(kInitialSlots, V{});
+      mask_ = kInitialSlots - 1;
+      used_ = 0;
+    }
+  }
+
+  /// Value for (src, dst), default-constructed on first access. The
+  /// returned reference is invalidated by the next at() call (hash growth).
+  V& at(int src, int dst) {
+    MRL_CHECK(src >= 0 && src < n_ && dst >= 0 && dst < n_);
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(n_) +
+        static_cast<std::uint64_t>(dst);
+    if (!dense_.empty() || n_ <= kDenseRanks) {
+      return dense_[static_cast<std::size_t>(key)];
+    }
+    if ((used_ + 1) * 4 > (mask_ + 1) * 3) grow();  // keep load <= 3/4
+    std::size_t i = slot_of(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    ++used_;
+    return vals_[i];
+  }
+
+  /// Touched-pair count (dense mode reports the full matrix size).
+  [[nodiscard]] std::size_t entries() const {
+    return dense_.empty() ? used_ : dense_.size();
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const {
+    // Fibonacci multiplicative hash: src*n+dst keys are highly regular, and
+    // the multiply spreads consecutive keys across the table.
+    return static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ULL) & mask_;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    const std::size_t slots = (mask_ + 1) * 2;
+    keys_.assign(slots, kEmpty);
+    vals_.assign(slots, V{});
+    mask_ = slots - 1;
+    for (std::size_t j = 0; j < old_keys.size(); ++j) {
+      if (old_keys[j] == kEmpty) continue;
+      std::size_t i = slot_of(old_keys[j]);
+      while (keys_[i] != kEmpty) i = (i + 1) & mask_;
+      keys_[i] = old_keys[j];
+      vals_[i] = std::move(old_vals[j]);
+    }
+  }
+
+  int n_ = 0;
+  std::vector<V> dense_;            // non-empty <=> dense mode (or n_ == 0)
+  std::vector<std::uint64_t> keys_; // hash mode: kEmpty marks free slots
+  std::vector<V> vals_;
+  std::size_t mask_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace mrl::util

@@ -24,6 +24,7 @@ enum class ErrorCode {
   kDeadlock,
   kTimeout,
   kNotFound,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -37,6 +38,7 @@ constexpr std::string_view to_string(ErrorCode c) {
     case ErrorCode::kDeadlock: return "DEADLOCK";
     case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

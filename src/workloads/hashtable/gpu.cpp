@@ -11,10 +11,15 @@
 namespace mrl::workloads::hashtable {
 
 Result run_shmem_gpu(const simnet::Platform& platform, int nranks,
-                     const Config& cfg) {
+                     const Config& cfg0) {
+  // Size the overflow heap for the exact worst-case occupancy of the insert
+  // stream (grow-only; placement and traffic of fitting runs are unchanged).
+  // The symmetric heap below is budgeted from the EFFECTIVE sizes.
+  const Config cfg = with_sized_overflow(cfg0, nranks);
   runtime::EngineOptions opt;
   opt.trace = true;
   runtime::Engine eng(platform, nranks, opt);
+  bool exhausted = false;
 
   const std::uint64_t n_local = inserts_per_rank(cfg, nranks);
   const std::uint64_t actual = n_local * static_cast<std::uint64_t>(nranks);
@@ -51,7 +56,12 @@ Result run_shmem_gpu(const simnet::Platform& platform, int nranks,
           if (old == 0) continue;
           ++collisions[static_cast<std::size_t>(s.pe())];
           const std::uint64_t idx = s.atomic_fetch_add(next, 1, pl.owner);
-          MRL_CHECK_MSG(idx < cfg.overflow_per_rank, "overflow heap exhausted");
+          if (idx >= cfg.overflow_per_rank) {
+            // Unreachable for the generated stream (auto-sized above); a
+            // hand-built Config degrades to an error status, not an abort.
+            exhausted = true;
+            continue;
+          }
           std::uint64_t guess = 0;
           for (;;) {
             const std::uint64_t node[2] = {key, guess};
@@ -81,13 +91,17 @@ Result run_shmem_gpu(const simnet::Platform& platform, int nranks,
 
   Result out;
   out.status = run.status;
+  if (exhausted && out.status.is_ok()) {
+    out.status =
+        Status(ErrorCode::kResourceExhausted, "overflow heap exhausted");
+  }
   out.time_us = t1 - t0;
   out.inserted = actual;
   out.updates_per_sec =
       out.time_us > 0 ? static_cast<double>(actual) / (out.time_us * 1e-6) : 0;
   for (std::uint64_t v : collisions) out.collisions += v;
   out.verified = cfg.verify;
-  if (cfg.verify && run.ok()) {
+  if (cfg.verify && run.ok() && !exhausted) {
     out.verify_ok = verify_partitions(parts, cfg, actual).is_ok();
   }
   out.msgs = eng.trace().summarize(simnet::OpKind::kAtomic);

@@ -28,6 +28,42 @@ std::uint64_t inserts_per_rank(const Config& cfg, int nranks) {
          static_cast<std::uint64_t>(nranks);
 }
 
+std::uint64_t required_overflow_per_rank(const Config& cfg, int nranks) {
+  const std::uint64_t actual =
+      inserts_per_rank(cfg, nranks) * static_cast<std::uint64_t>(nranks);
+  // Encode each insert's destination as owner * slots_per_rank + slot, sort,
+  // and count the excess beyond one key per distinct bucket, per owner.
+  std::vector<std::uint64_t> dest(actual);
+  for (std::uint64_t i = 0; i < actual; ++i) {
+    const Placement pl =
+        place(key_for(cfg.seed, i), nranks, cfg.slots_per_rank);
+    dest[i] =
+        static_cast<std::uint64_t>(pl.owner) * cfg.slots_per_rank + pl.slot;
+  }
+  std::sort(dest.begin(), dest.end());
+  std::uint64_t worst = 0;
+  std::uint64_t i = 0;
+  while (i < actual) {
+    const std::uint64_t owner = dest[i] / cfg.slots_per_rank;
+    std::uint64_t overflow = 0;
+    while (i < actual && dest[i] / cfg.slots_per_rank == owner) {
+      std::uint64_t run = 1;
+      while (i + run < actual && dest[i + run] == dest[i]) ++run;
+      overflow += run - 1;  // one key lives in the table slot itself
+      i += run;
+    }
+    worst = std::max(worst, overflow);
+  }
+  return worst;
+}
+
+Config with_sized_overflow(const Config& cfg, int nranks) {
+  Config out = cfg;
+  const std::uint64_t need = required_overflow_per_rank(cfg, nranks);
+  if (need > out.overflow_per_rank) out.overflow_per_rank = need;
+  return out;
+}
+
 Status verify_partitions(const std::vector<Partition>& parts,
                          const Config& cfg, std::uint64_t actual_inserts) {
   const int nranks = static_cast<int>(parts.size());

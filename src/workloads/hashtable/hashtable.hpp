@@ -76,6 +76,19 @@ Status verify_partitions(const std::vector<Partition>& parts,
 /// two-sided protocol is round-based).
 std::uint64_t inserts_per_rank(const Config& cfg, int nranks);
 
+/// Exact worst-case overflow nodes any one rank needs for the full insert
+/// stream: max over owners of Σ over that owner's slots of
+/// max(0, keys hashed to the slot − 1). Placement depends only on
+/// (key, nranks, slots_per_rank) — never on protocol or timing — so every
+/// variant's overflow occupancy is exactly this, independent of insert
+/// interleaving.
+std::uint64_t required_overflow_per_rank(const Config& cfg, int nranks);
+
+/// `cfg` with overflow_per_rank grown (never shrunk) to fit the insert
+/// stream. slots_per_rank is untouched, so key placement — and therefore
+/// the simulated traffic of already-fitting runs — is unchanged.
+Config with_sized_overflow(const Config& cfg, int nranks);
+
 Result run_one_sided(const simnet::Platform& platform, int nranks,
                      const Config& cfg);
 Result run_two_sided(const simnet::Platform& platform, int nranks,

@@ -12,10 +12,14 @@
 namespace mrl::workloads::hashtable {
 
 Result run_one_sided(const simnet::Platform& platform, int nranks,
-                     const Config& cfg) {
+                     const Config& cfg0) {
+  // Size the overflow heap for the exact worst-case occupancy of the insert
+  // stream (grow-only; placement and traffic of fitting runs are unchanged).
+  const Config cfg = with_sized_overflow(cfg0, nranks);
   runtime::EngineOptions opt;
   opt.trace = true;
   runtime::Engine eng(platform, nranks, opt);
+  bool exhausted = false;
 
   const std::uint64_t n_local = inserts_per_rank(cfg, nranks);
   const std::uint64_t actual = n_local * static_cast<std::uint64_t>(nranks);
@@ -49,7 +53,12 @@ Result run_one_sided(const simnet::Platform& platform, int nranks,
       if (old == 0) continue;  // won the slot
       ++collisions[static_cast<std::size_t>(c.rank())];
       const std::uint64_t idx = w_next.fetch_add(1, pl.owner, 0);
-      MRL_CHECK_MSG(idx < cfg.overflow_per_rank, "overflow heap exhausted");
+      if (idx >= cfg.overflow_per_rank) {
+        // Unreachable for the generated stream (auto-sized above); a
+        // hand-built Config degrades to an error status, not an abort.
+        exhausted = true;
+        continue;
+      }
       std::uint64_t guess = 0;
       for (;;) {
         const std::uint64_t node[2] = {key, guess};
@@ -72,13 +81,17 @@ Result run_one_sided(const simnet::Platform& platform, int nranks,
 
   Result out;
   out.status = run.status;
+  if (exhausted && out.status.is_ok()) {
+    out.status =
+        Status(ErrorCode::kResourceExhausted, "overflow heap exhausted");
+  }
   out.time_us = t1 - t0;
   out.inserted = actual;
   out.updates_per_sec =
       out.time_us > 0 ? static_cast<double>(actual) / (out.time_us * 1e-6) : 0;
   for (std::uint64_t v : collisions) out.collisions += v;
   out.verified = cfg.verify;
-  if (cfg.verify && run.ok()) {
+  if (cfg.verify && run.ok() && !exhausted) {
     out.verify_ok = verify_partitions(parts, cfg, actual).is_ok();
   }
   out.msgs = eng.trace().summarize(simnet::OpKind::kAtomic);

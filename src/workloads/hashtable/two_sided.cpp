@@ -13,14 +13,20 @@ namespace mrl::workloads::hashtable {
 namespace {
 
 void local_insert(Partition& p, std::uint64_t key, std::uint64_t slot,
-                  std::uint64_t overflow_cap, std::uint64_t* collisions) {
+                  std::uint64_t overflow_cap, std::uint64_t* collisions,
+                  bool* exhausted) {
   if (p.table[slot] == 0) {
     p.table[slot] = key;
     return;
   }
   ++*collisions;
   const std::uint64_t idx = p.next_free++;
-  MRL_CHECK_MSG(idx < overflow_cap, "overflow heap exhausted");
+  if (idx >= overflow_cap) {
+    // Unreachable for the generated stream (overflow is auto-sized); a
+    // hand-built Config degrades to an error status, not an abort.
+    *exhausted = true;
+    return;
+  }
   p.overflow[2 * idx] = key;
   p.overflow[2 * idx + 1] = p.tail[slot];
   p.tail[slot] = idx + 1;
@@ -29,10 +35,14 @@ void local_insert(Partition& p, std::uint64_t key, std::uint64_t slot,
 }  // namespace
 
 Result run_two_sided(const simnet::Platform& platform, int nranks,
-                     const Config& cfg) {
+                     const Config& cfg0) {
+  // Size the overflow heap for the exact worst-case occupancy of the insert
+  // stream (grow-only; placement and traffic of fitting runs are unchanged).
+  const Config cfg = with_sized_overflow(cfg0, nranks);
   runtime::EngineOptions opt;
   opt.trace = true;
   runtime::Engine eng(platform, nranks, opt);
+  bool exhausted = false;
 
   const std::uint64_t n_local = inserts_per_rank(cfg, nranks);
   const std::uint64_t actual = n_local * static_cast<std::uint64_t>(nranks);
@@ -62,7 +72,7 @@ Result run_two_sided(const simnet::Platform& platform, int nranks,
         c.recv(incoming, sizeof(incoming), mpi::kAnySource, mpi::kAnyTag);
         if (incoming[0] == static_cast<std::uint64_t>(c.rank())) {
           local_insert(mine, incoming[1], incoming[2], cfg.overflow_per_rank,
-                       my_coll);
+                       my_coll, &exhausted);
           c.compute(0.05);
         }
       }
@@ -79,7 +89,8 @@ Result run_two_sided(const simnet::Platform& platform, int nranks,
         static_cast<void>(req);  // eager: payload captured at issue
       }
       if (pl.owner == c.rank()) {
-        local_insert(mine, key, pl.slot, cfg.overflow_per_rank, my_coll);
+        local_insert(mine, key, pl.slot, cfg.overflow_per_rank, my_coll,
+                     &exhausted);
         c.compute(0.05);
       }
       if (k >= kLag) drain_round();
@@ -92,13 +103,17 @@ Result run_two_sided(const simnet::Platform& platform, int nranks,
 
   Result out;
   out.status = run.status;
+  if (exhausted && out.status.is_ok()) {
+    out.status =
+        Status(ErrorCode::kResourceExhausted, "overflow heap exhausted");
+  }
   out.time_us = t1 - t0;
   out.inserted = actual;
   out.updates_per_sec =
       out.time_us > 0 ? static_cast<double>(actual) / (out.time_us * 1e-6) : 0;
   for (std::uint64_t v : collisions) out.collisions += v;
   out.verified = cfg.verify;
-  if (cfg.verify && run.ok()) {
+  if (cfg.verify && run.ok() && !exhausted) {
     out.verify_ok = verify_partitions(parts, cfg, actual).is_ok();
   }
   out.msgs = eng.trace().summarize(simnet::OpKind::kSend);

@@ -9,7 +9,9 @@
 // whole suite meaningful.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -541,6 +543,177 @@ TEST(EngineCrossBackend, BitIdenticalClocksAndTraces) {
     EXPECT_EQ(tf[i].t_issue, tt[i].t_issue) << i;
     EXPECT_EQ(tf[i].t_arrival, tt[i].t_arrival) << i;
   }
+}
+
+TEST(EngineCrossScheduler, BitIdenticalClocksAndTracesOnBothBackends) {
+  // The indexed-heap scheduler must be a drop-in replacement for the linear
+  // scan: same grant order (including the lowest-id tie-break), same clocks,
+  // same trace bytes — on both execution backends. The body manufactures
+  // wake-time ties (many ranks advancing by identical deltas) plus blocking
+  // waits so both pick_min and wake paths are exercised.
+  const int n = 12;
+  auto run_config = [&](EngineBackend backend, SchedulerKind sched) {
+    EngineOptions opt;
+    opt.backend = backend;
+    opt.scheduler = sched;
+    opt.trace = true;
+    Engine eng(plat(), n, opt);
+    std::vector<bool> flags(static_cast<std::size_t>(n), false);
+    std::vector<double> flag_time(static_cast<std::size_t>(n), 0.0);
+    const RunResult r = eng.run([&](Rank& rank) {
+      const int id = rank.id();
+      const int peer = (id + 5) % n;
+      for (int i = 0; i < 8; ++i) {
+        // Half the ranks advance by the SAME amount each round — guaranteed
+        // wake-time ties that only the lowest-id rule orders.
+        rank.advance(id % 2 == 0 ? 1.0 : 0.25 * ((id + i) % 3 + 1));
+        eng.perform(rank, [&] {
+          simnet::MsgRecord rec;
+          rec.src_rank = id;
+          rec.dst_rank = peer;
+          rec.bytes = 32u * static_cast<std::uint64_t>(i + 1);
+          rec.t_issue = rank.now();
+          rec.t_arrival = rank.now() + 2.0;
+          eng.trace().record(rec);
+        });
+      }
+      eng.perform(rank, [&] {
+        flags[static_cast<std::size_t>(id)] = true;
+        flag_time[static_cast<std::size_t>(id)] = rank.now();
+      });
+      const int prev = (id + n - 1) % n;
+      eng.wait(rank, "peer", [&]() -> std::optional<double> {
+        if (!flags[static_cast<std::size_t>(prev)]) return std::nullopt;
+        return flag_time[static_cast<std::size_t>(prev)] + 0.125;
+      });
+    });
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    return std::make_pair(r, eng.trace().records());
+  };
+
+  std::vector<std::pair<EngineBackend, SchedulerKind>> configs;
+  for (auto backend : {EngineBackend::kFibers, EngineBackend::kThreads}) {
+    if (backend == EngineBackend::kFibers && !fibers_supported()) continue;
+    configs.emplace_back(backend, SchedulerKind::kIndexedHeap);
+    configs.emplace_back(backend, SchedulerKind::kLinearScan);
+  }
+  ASSERT_GE(configs.size(), 2u);
+  const auto [r0, t0] = run_config(configs[0].first, configs[0].second);
+  for (std::size_t c = 1; c < configs.size(); ++c) {
+    const auto [r, t] = run_config(configs[c].first, configs[c].second);
+    SCOPED_TRACE("config " + std::to_string(c));
+    EXPECT_EQ(r.makespan_us, r0.makespan_us);
+    ASSERT_EQ(r.rank_end_us.size(), r0.rank_end_us.size());
+    for (std::size_t i = 0; i < r0.rank_end_us.size(); ++i) {
+      EXPECT_EQ(r.rank_end_us[i], r0.rank_end_us[i]) << "rank " << i;
+    }
+    ASSERT_EQ(t.size(), t0.size());
+    for (std::size_t i = 0; i < t0.size(); ++i) {
+      EXPECT_EQ(t[i].src_rank, t0[i].src_rank) << i;
+      EXPECT_EQ(t[i].t_issue, t0[i].t_issue) << i;
+      EXPECT_EQ(t[i].t_arrival, t0[i].t_arrival) << i;
+    }
+  }
+}
+
+TEST(EngineWaitGate, GatedBarrierMatchesUngatedOracleAcrossSchedulers) {
+  // WaitGate semantics (DESIGN.md §10): a generation-counter barrier built
+  // exactly like mpi::Comm::collective, with the gate passed through
+  // Engine::wait. The heap scheduler parks gated waiters in the threshold
+  // heap; the linear scheduler ignores the gate and brute-force re-evaluates
+  // every condition. Identical clocks across all four configs prove the
+  // gated fast path wakes the same ranks at the same times as the oracle.
+  const int n = 10;
+  auto run_config = [&](EngineBackend backend, SchedulerKind sched) {
+    EngineOptions opt;
+    opt.backend = backend;
+    opt.scheduler = sched;
+    Engine eng(plat(), n, opt);
+    std::uint64_t generation = 0;
+    int entered = 0;
+    double max_enter = 0.0;
+    std::array<double, 4> done{};
+    const RunResult r = eng.run([&](Rank& rank) {
+      for (int round = 0; round < 5; ++round) {
+        // Uneven arrivals (with ties) so the barrier actually reorders.
+        rank.advance(0.5 * ((rank.id() + round) % 4));
+        std::uint64_t my_gen = 0;
+        eng.perform(rank, [&] {
+          my_gen = generation;
+          if (entered == 0) max_enter = 0.0;
+          ++entered;
+          max_enter = std::max(max_enter, rank.now());
+          if (entered == n) {
+            done[my_gen % done.size()] = max_enter + 1.0;
+            entered = 0;
+            ++generation;
+          }
+        });
+        eng.wait(
+            rank, "test.barrier",
+            [&]() -> std::optional<double> {
+              if (generation <= my_gen) return std::nullopt;
+              return done[my_gen % done.size()];
+            },
+            {}, WaitGate{&generation, my_gen + 1});
+      }
+    });
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    return r;
+  };
+
+  std::vector<RunResult> results;
+  for (auto backend : {EngineBackend::kFibers, EngineBackend::kThreads}) {
+    if (backend == EngineBackend::kFibers && !fibers_supported()) continue;
+    results.push_back(run_config(backend, SchedulerKind::kIndexedHeap));
+    results.push_back(run_config(backend, SchedulerKind::kLinearScan));
+  }
+  ASSERT_GE(results.size(), 2u);
+  for (std::size_t c = 1; c < results.size(); ++c) {
+    SCOPED_TRACE("config " + std::to_string(c));
+    EXPECT_EQ(results[c].makespan_us, results[0].makespan_us);
+    ASSERT_EQ(results[c].rank_end_us.size(), results[0].rank_end_us.size());
+    for (std::size_t i = 0; i < results[0].rank_end_us.size(); ++i) {
+      EXPECT_EQ(results[c].rank_end_us[i], results[0].rank_end_us[i])
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(EngineWaitGate, UnreachedGateStillReportsDeadlock) {
+  // A gated waiter whose counter never advances must be caught by the
+  // engine's deadlock detector (gated ranks are kBlocked and counted), not
+  // silently parked forever.
+  EngineOptions opt;
+  opt.scheduler = SchedulerKind::kIndexedHeap;
+  Engine eng(plat(), 2, opt);
+  std::uint64_t counter = 0;
+  const RunResult r = eng.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      eng.wait(
+          rank, "gate.never",
+          [&]() -> std::optional<double> {
+            if (counter == 0) return std::nullopt;
+            return 1.0;
+          },
+          {}, WaitGate{&counter, 1});
+    }
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status.to_string().find("deadlock"), std::string::npos)
+      << r.status.to_string();
+  EXPECT_NE(r.status.to_string().find("gate.never"), std::string::npos)
+      << r.status.to_string();
+}
+
+TEST(EngineSchedulerDefaults, ProcessWideDefaultIsHonored) {
+  const SchedulerKind saved = default_scheduler();
+  set_default_scheduler(SchedulerKind::kLinearScan);
+  EXPECT_EQ(EngineOptions{}.scheduler, SchedulerKind::kLinearScan);
+  EXPECT_STREQ(to_string(SchedulerKind::kLinearScan), "linear");
+  set_default_scheduler(saved);
+  EXPECT_EQ(EngineOptions{}.scheduler, saved);
+  EXPECT_STREQ(to_string(SchedulerKind::kIndexedHeap), "heap");
 }
 
 TEST(EngineBackendDefaults, ProcessWideDefaultIsHonored) {

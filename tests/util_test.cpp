@@ -7,8 +7,11 @@
 #include <limits>
 #include <sstream>
 
+#include "util/arena.hpp"
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
+#include "util/indexed_heap.hpp"
+#include "util/pair_map.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -301,6 +304,180 @@ TEST(Parse, CliIntEnforcesMinimum) {
   EXPECT_EQ(parse_cli_int("8", 1, "rank count").value(), 8);
   EXPECT_FALSE(parse_cli_int("0", 1, "rank count"));
   EXPECT_FALSE(parse_cli_int("banana", 1, "rank count"));
+}
+
+// ---------------------------------------------------------------------------
+// IndexedMinHeap — the scheduler's ready queue (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+TEST(IndexedMinHeap, PopsInKeyOrder) {
+  util::IndexedMinHeap<double> h;
+  h.reset(8);
+  const double keys[8] = {5.0, 1.0, 7.0, 3.0, 0.5, 6.0, 2.0, 4.0};
+  for (int id = 0; id < 8; ++id) h.push(id, keys[id]);
+  EXPECT_EQ(h.size(), 8);
+  double prev = -1.0;
+  for (int i = 0; i < 8; ++i) {
+    const int id = h.top();
+    EXPECT_EQ(h.top_key(), keys[id]);
+    EXPECT_GE(keys[id], prev);
+    prev = keys[id];
+    h.pop();
+  }
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.top(), -1);
+}
+
+TEST(IndexedMinHeap, DuplicateKeysBreakTiesTowardLowestId) {
+  // The engine's documented contract: at equal wake time the LOWEST rank id
+  // runs first — the heap's top must equal what an ascending-id linear scan
+  // would pick, including when every key is identical.
+  util::IndexedMinHeap<double> h;
+  h.reset(16);
+  for (int id = 15; id >= 0; --id) h.push(id, 2.5);  // adversarial order
+  for (int id = 0; id < 16; ++id) {
+    EXPECT_EQ(h.top(), id);
+    h.pop();
+  }
+}
+
+TEST(IndexedMinHeap, UpdateMovesKeysBothWays) {
+  util::IndexedMinHeap<int> h;
+  h.reset(4);
+  for (int id = 0; id < 4; ++id) h.push(id, 10 + id);
+  EXPECT_EQ(h.top(), 0);
+  h.update(3, 1);  // decrease-key: jumps to the front
+  EXPECT_EQ(h.top(), 3);
+  EXPECT_EQ(h.key_of(3), 1);
+  h.update(3, 99);  // increase-key: sinks to the back
+  EXPECT_EQ(h.top(), 0);
+  h.update(0, 10);  // no-op update keeps position
+  EXPECT_EQ(h.top(), 0);
+}
+
+TEST(IndexedMinHeap, EraseArbitraryIdAndReuse) {
+  util::IndexedMinHeap<int> h;
+  h.reset(6);
+  for (int id = 0; id < 6; ++id) h.push(id, id);
+  EXPECT_TRUE(h.contains(2));
+  h.erase(2);
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_EQ(h.size(), 5);
+  h.push(2, -1);  // ids are reusable after erase
+  EXPECT_EQ(h.top(), 2);
+  h.reset(6);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(0));
+}
+
+TEST(IndexedMinHeap, MatchesLinearScanOracle) {
+  // Randomized equivalence against the structure it replaced: a linear scan
+  // picking the (key, id)-lexicographic minimum.
+  util::IndexedMinHeap<std::uint64_t> h;
+  const int n = 64;
+  h.reset(n);
+  SplitMix64 rng(0xBADC0FFEEULL);
+  std::vector<std::uint64_t> keys(n, 0);
+  std::vector<bool> present(n, false);
+  for (int step = 0; step < 2000; ++step) {
+    const int id = static_cast<int>(rng.next() % n);
+    const std::uint64_t key = rng.next() % 8;  // few values => many ties
+    if (!present[static_cast<std::size_t>(id)]) {
+      h.push(id, key);
+      keys[static_cast<std::size_t>(id)] = key;
+      present[static_cast<std::size_t>(id)] = true;
+    } else if (rng.next() % 2 == 0) {
+      h.update(id, key);
+      keys[static_cast<std::size_t>(id)] = key;
+    } else {
+      h.erase(id);
+      present[static_cast<std::size_t>(id)] = false;
+    }
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!present[static_cast<std::size_t>(i)]) continue;
+      if (best == -1 ||
+          keys[static_cast<std::size_t>(i)] < keys[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    EXPECT_EQ(h.top(), best) << "step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena — per-run transient scratch (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  util::Arena a(/*min_block_bytes=*/64);
+  double* d = a.alloc_array<double>(7);
+  std::uint8_t* b = a.alloc_array<std::uint8_t>(3);
+  std::uint64_t* q = a.alloc_array<std::uint64_t>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % alignof(std::uint64_t), 0u);
+  for (int i = 0; i < 7; ++i) d[i] = 1.5 * i;
+  for (int i = 0; i < 3; ++i) b[i] = static_cast<std::uint8_t>(i);
+  for (int i = 0; i < 5; ++i) q[i] = 77u * static_cast<std::uint64_t>(i);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(d[i], 1.5 * i);  // no overlap
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q[i], 77u * static_cast<std::uint64_t>(i));
+  EXPECT_GE(a.bytes_in_use(), 7 * sizeof(double) + 3 + 5 * sizeof(std::uint64_t));
+}
+
+TEST(Arena, ResetRetainsCapacityForReuse) {
+  util::Arena a(/*min_block_bytes=*/128);
+  (void)a.alloc_array<double>(1000);  // forces growth past the first block
+  const std::size_t grown = a.capacity();
+  EXPECT_GE(grown, 1000 * sizeof(double));
+  a.reset();
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  EXPECT_EQ(a.capacity(), grown);  // blocks retained, not freed
+  // Steady state: the same allocation pattern must not grow capacity again.
+  (void)a.alloc_array<double>(1000);
+  EXPECT_EQ(a.capacity(), grown);
+}
+
+// ---------------------------------------------------------------------------
+// PairMap — sparse (src, dst) channel state for large worlds
+// ---------------------------------------------------------------------------
+
+TEST(PairMap, DenseAndSparseModesAgree) {
+  // The same access sequence through both representations must read/write
+  // the same logical cells. Dense mode below kDenseRanks, hash mode above.
+  util::PairMap<std::uint64_t> dense;
+  util::PairMap<std::uint64_t> sparse;
+  dense.reset(64);                                  // dense matrix
+  sparse.reset(util::PairMap<std::uint64_t>::kDenseRanks + 1);  // hash table
+  SplitMix64 rng(0x5EEDULL);
+  for (int step = 0; step < 5000; ++step) {
+    const int src = static_cast<int>(rng.next() % 64);
+    const int dst = static_cast<int>(rng.next() % 64);
+    const std::uint64_t inc = rng.next() % 100;
+    dense.at(src, dst) += inc;
+    sparse.at(src, dst) += inc;
+  }
+  for (int s = 0; s < 64; ++s) {
+    for (int d = 0; d < 64; ++d) {
+      EXPECT_EQ(dense.at(s, d), sparse.at(s, d)) << s << "," << d;
+    }
+  }
+}
+
+TEST(PairMap, SparseModeStoresOnlyTouchedPairs) {
+  util::PairMap<double> m;
+  m.reset(100000);  // dense would be 80 GB; sparse must stay tiny
+  EXPECT_EQ(m.entries(), 0u);
+  for (int r = 0; r < 1000; ++r) {
+    m.at(r, (r + 1) % 100000) = 1.0 + r;
+    m.at(r, (r + 99999) % 100000) = 2.0 + r;
+  }
+  EXPECT_EQ(m.entries(), 2000u);
+  for (int r = 0; r < 1000; ++r) {
+    EXPECT_EQ(m.at(r, (r + 1) % 100000), 1.0 + r);
+    EXPECT_EQ(m.at(r, (r + 99999) % 100000), 2.0 + r);
+  }
+  EXPECT_EQ(m.entries(), 2000u);  // reads created nothing new
+  EXPECT_EQ(m.at(99999, 0), 0.0);  // untouched cells default-construct
 }
 
 }  // namespace

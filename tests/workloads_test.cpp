@@ -336,6 +336,67 @@ TEST_P(HashtableRanks, TwoSidedStoresEveryKey) {
 
 INSTANTIATE_TEST_SUITE_P(Ranks, HashtableRanks, ::testing::Values(1, 2, 4, 8));
 
+TEST(HashtableOverflow, RequiredOverflowIsExactAndOrderIndependent) {
+  // One key wins each table slot; every other key hashed to that slot takes
+  // exactly one overflow node, whatever the insert interleaving. So the
+  // requirement equals max over owners of sum_slot max(0, count - 1).
+  hashtable::Config cfg;
+  cfg.total_inserts = 5000;
+  cfg.slots_per_rank = 256;  // heavy chaining
+  for (int nranks : {1, 2, 8}) {
+    const std::uint64_t need = hashtable::required_overflow_per_rank(cfg, nranks);
+    EXPECT_GT(need, 0u) << nranks;
+    // Oracle: brute-force per-slot counts.
+    const std::uint64_t total =
+        (cfg.total_inserts / static_cast<std::uint64_t>(nranks)) *
+        static_cast<std::uint64_t>(nranks);
+    std::map<std::pair<int, std::uint64_t>, std::uint64_t> counts;
+    for (std::uint64_t i = 0; i < total; ++i) {
+      const auto p = hashtable::place(hashtable::key_for(cfg.seed, i), nranks,
+                                      cfg.slots_per_rank);
+      ++counts[{p.owner, p.slot}];
+    }
+    std::vector<std::uint64_t> per_owner(static_cast<std::size_t>(nranks), 0);
+    for (const auto& [k, c] : counts) {
+      per_owner[static_cast<std::size_t>(k.first)] += c - 1;
+    }
+    const std::uint64_t oracle =
+        *std::max_element(per_owner.begin(), per_owner.end());
+    EXPECT_EQ(need, oracle) << nranks;
+  }
+}
+
+TEST(HashtableOverflow, AutoSizingGrowsOnlyAndPreservesFittingConfigs) {
+  hashtable::Config cfg;
+  cfg.total_inserts = 5000;
+  cfg.slots_per_rank = 256;
+  const std::uint64_t need = hashtable::required_overflow_per_rank(cfg, 4);
+  cfg.overflow_per_rank = need + 100;  // already ample
+  const auto same = hashtable::with_sized_overflow(cfg, 4);
+  EXPECT_EQ(same.overflow_per_rank, cfg.overflow_per_rank);  // untouched
+  cfg.overflow_per_rank = 1;  // would previously abort the run
+  const auto grown = hashtable::with_sized_overflow(cfg, 4);
+  EXPECT_EQ(grown.overflow_per_rank, need);
+  EXPECT_EQ(grown.slots_per_rank, cfg.slots_per_rank);  // placement untouched
+}
+
+TEST(HashtableOverflow, UndersizedConfigAutoHealsInsteadOfAborting) {
+  // The fig07 --full failure mode: this config used to MRL_CHECK-abort the
+  // whole process ("overflow heap exhausted"). The runners now auto-size
+  // via with_sized_overflow, so the same config must complete and verify
+  // (and if sizing were ever bypassed, the inserters return
+  // Status(kResourceExhausted) instead of aborting — see one_sided.cpp).
+  hashtable::Config cfg;
+  cfg.total_inserts = 4000;
+  cfg.slots_per_rank = 64;   // forces deep chains
+  cfg.overflow_per_rank = 1; // hopeless without auto-sizing
+  const auto r = hashtable::run_one_sided(simnet::Platform::perlmutter_cpu(),
+                                          4, cfg);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_GT(r.collisions, 0u);
+}
+
 TEST(HashtableGpu, StoresEveryKeyOnBothGpuPlatforms) {
   const auto a = hashtable::run_shmem_gpu(simnet::Platform::perlmutter_gpu(),
                                           4, small_ht());
