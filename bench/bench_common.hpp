@@ -13,10 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "core/parallel.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/metrics.hpp"
 #include "util/csv.hpp"
+#include "util/parse.hpp"
 #include "util/status.hpp"
 
 namespace mrl::bench {
@@ -70,7 +72,8 @@ struct Args {
   static void usage(const char* prog, std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--full] [--jobs N] [--backend B] "
-                 "[--scheduler S] [--fault-seed S] [--metrics PATH]\n",
+                 "[--scheduler S] [--fault-seed S] [--metrics PATH] "
+                 "[--check] [--check-history N]\n",
                  prog);
     std::fprintf(out,
                  "  --full         paper-scale problem sizes (slower)\n"
@@ -94,7 +97,18 @@ struct Args {
                  "                 process-wide aggregate CSV to PATH at "
                  "exit (bytes are\n"
                  "                 identical across backends and --jobs "
-                 "values)\n");
+                 "values)\n"
+                 "  --check        enable the RMA race & synchronization "
+                 "checker (off by\n"
+                 "                 default; violations fail the run with a "
+                 "diagnostic; when\n"
+                 "                 clean, output bytes are unchanged; also "
+                 "MSGROOF_CHECK=1)\n"
+                 "  --check-history N  per-region shadow-history cap for "
+                 "the checker\n"
+                 "                 (N >= 1; default 65536; accesses past "
+                 "the cap are still\n"
+                 "                 checked but not recorded)\n");
   }
 
   /// Parses the shared bench flags; unrecognized arguments are an error.
@@ -226,6 +240,28 @@ struct Args {
         detail::metrics_path() = val;
         runtime::set_default_metrics(true);
         std::atexit(&detail::dump_metrics_at_exit);
+      } else if (std::strcmp(arg, "--check") == 0) {
+        check::set_default_check(true);
+      } else if (std::strcmp(arg, "--check-history") == 0 ||
+                 std::strncmp(arg, "--check-history=", 16) == 0) {
+        const char* val = nullptr;
+        if (arg[15] == '=') {
+          val = arg + 16;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --check-history requires a value\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        const std::optional<long long> n =
+            parse_cli_int(val, 1, "--check-history");
+        if (!n) {
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        check::set_default_check_history(static_cast<std::uint64_t>(*n));
       } else {
         std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], arg);
         usage(argv[0], stderr);

@@ -72,7 +72,13 @@ using namespace mrl;
       "  --nodes N       scale CPU platforms to N nodes (default 1; enables\n"
       "                  e.g. a 10240-rank perlmutter-cpu at N=80)\n"
       "  --stack-bytes N fiber stack size in bytes (default 256 KiB; lower\n"
-      "                  it for very high rank counts)\n");
+      "                  it for very high rank counts)\n"
+      "  --check         enable the RMA race & synchronization checker (off\n"
+      "                  by default; violations fail the run with rank/time/\n"
+      "                  op/byte-range diagnostics; MSGROOF_CHECK=1 works\n"
+      "                  too; clean runs produce unchanged output bytes)\n"
+      "  --check-history N  per-region shadow-history cap for the checker\n"
+      "                  (N >= 1; default 65536)\n");
   std::exit(2);
 }
 
@@ -333,6 +339,20 @@ int main(int argc, char** argv) {
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      check::set_default_check(true);
+      continue;
+    }
+    if (std::strcmp(arg, "--check-history") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg);
+        usage();
+      }
+      const auto v = parse_cli_int(argv[++i], 1, "--check-history value");
+      if (!v) usage();
+      check::set_default_check_history(static_cast<std::uint64_t>(*v));
+      continue;
+    }
     if (std::strcmp(arg, "--faults") == 0 ||
         std::strcmp(arg, "--fault-seed") == 0 ||
         std::strcmp(arg, "--backend") == 0 ||

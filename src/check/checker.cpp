@@ -1,0 +1,606 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace mrl::check {
+namespace {
+
+// Cap on stored violation lines. Detection (and the per-rank counters) keep
+// going past the cap; the report just notes how many lines were suppressed.
+constexpr std::size_t kMaxStoredViolations = 200;
+
+std::string fmt_t(simnet::TimeUs t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fus", t);
+  return buf;
+}
+
+std::string fmt_range(std::uint64_t off, std::uint64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%" PRIu64 ", %" PRIu64 ")", off,
+                off + bytes);
+  return buf;
+}
+
+// Signal-word traffic is exempt from atomic-vs-atomic conflicts: bare MPI
+// signal puts, the atomic half of fused SHMEM put-with-signal, explicit
+// atomics, and signal waits all model word-atomic hardware operations.
+bool atomic_class(AccessKind k, PutClass c) {
+  return k == AccessKind::kAtomic ||
+         (k == AccessKind::kPut && c == PutClass::kSignal);
+}
+
+bool is_write(AccessKind k) {
+  return k == AccessKind::kPut || k == AccessKind::kAtomic ||
+         k == AccessKind::kLocalWrite;
+}
+
+}  // namespace
+
+const char* to_string(AccessKind k) {
+  switch (k) {
+    case AccessKind::kPut:
+      return "put";
+    case AccessKind::kGet:
+      return "get";
+    case AccessKind::kAtomic:
+      return "atomic";
+    case AccessKind::kLocalRead:
+      return "local_read";
+    case AccessKind::kLocalWrite:
+      return "local_write";
+  }
+  return "?";
+}
+
+void Checker::reset(int nranks) {
+  nranks_ = nranks;
+  zero_base_ = std::make_shared<const std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(nranks), 0);
+  vc_.assign(static_cast<std::size_t>(nranks), Clock{zero_base_, {}});
+  spaces_.clear();
+  channels_.clear();
+  wires_.clear();
+  in_flight_.assign(static_cast<std::size_t>(nranks), {});
+  violations_.clear();
+  per_rank_violations_.assign(static_cast<std::size_t>(nranks), 0);
+  suppressed_ = 0;
+}
+
+int Checker::add_space(std::string name) {
+  Space s;
+  s.name = std::move(name);
+  s.regions.resize(static_cast<std::size_t>(nranks_));
+  spaces_.push_back(std::move(s));
+  return static_cast<int>(spaces_.size()) - 1;
+}
+
+int Checker::add_channel(std::string name, int clears_space) {
+  Channel c;
+  c.name = std::move(name);
+  c.clears_space = clears_space;
+  c.in_wave.assign(static_cast<std::size_t>(nranks_), 0);
+  channels_.push_back(std::move(c));
+  return static_cast<int>(channels_.size()) - 1;
+}
+
+std::uint64_t Checker::clk(const Clock& c, int r) const {
+  const auto key = static_cast<std::int32_t>(r);
+  const auto it = std::lower_bound(
+      c.delta.begin(), c.delta.end(), key,
+      [](const auto& e, std::int32_t k) { return e.first < k; });
+  if (it != c.delta.end() && it->first == key) return it->second;
+  return (*c.base)[static_cast<std::size_t>(r)];
+}
+
+void Checker::set_clk(Clock& c, int r, std::uint64_t v) {
+  if (v <= (*c.base)[static_cast<std::size_t>(r)]) return;
+  const auto key = static_cast<std::int32_t>(r);
+  const auto it = std::lower_bound(
+      c.delta.begin(), c.delta.end(), key,
+      [](const auto& e, std::int32_t k) { return e.first < k; });
+  if (it != c.delta.end() && it->first == key) {
+    it->second = std::max(it->second, v);
+  } else {
+    c.delta.insert(it, {key, v});
+  }
+}
+
+std::vector<std::uint64_t> Checker::dense(const Clock& c) const {
+  std::vector<std::uint64_t> out = *c.base;
+  for (const auto& [r, v] : c.delta) {
+    auto& slot = out[static_cast<std::size_t>(r)];
+    slot = std::max(slot, v);
+  }
+  return out;
+}
+
+void Checker::tick(int rank) {
+  Clock& c = vc_[static_cast<std::size_t>(rank)];
+  set_clk(c, rank, clk(c, rank) + 1);
+}
+
+void Checker::join(int rank, const Clock& other) {
+  Clock& mine = vc_[static_cast<std::size_t>(rank)];
+  if (mine.base == other.base) {
+    // Common case: both clocks sit on the same collective-wave baseline, so
+    // only the sparse overlays differ.
+    for (const auto& [r, v] : other.delta) set_clk(mine, r, v);
+    return;
+  }
+  // Bases diverged (a snapshot crossing a collective boundary): fall back to
+  // a dense elementwise max, which becomes this rank's private base.
+  auto merged = std::make_shared<std::vector<std::uint64_t>>(dense(mine));
+  for (int r = 0; r < nranks_; ++r) {
+    auto& slot = (*merged)[static_cast<std::size_t>(r)];
+    slot = std::max(slot, clk(other, r));
+  }
+  mine.base = std::move(merged);
+  mine.delta.clear();
+}
+
+Checker::Wire& Checker::wire(int src, int dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(src))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst);
+  const auto it = std::lower_bound(
+      wires_.begin(), wires_.end(), key,
+      [](const Wire& w, std::uint64_t k) { return w.key < k; });
+  if (it != wires_.end() && it->key == key) return *it;
+  Wire w;
+  w.key = key;
+  return *wires_.insert(it, std::move(w));
+}
+
+void Checker::add_violation(int rank, std::string text) {
+  if (rank >= 0 && rank < nranks_) {
+    ++per_rank_violations_[static_cast<std::size_t>(rank)];
+  }
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(std::move(text));
+  } else {
+    ++suppressed_;
+  }
+}
+
+std::string Checker::where(int space, int owner) const {
+  std::string s = spaces_[static_cast<std::size_t>(space)].name;
+  s += "@rank";
+  s += std::to_string(owner);
+  return s;
+}
+
+bool Checker::conflicts(const Rec& a, const Rec& b) const {
+  if (a.rank == b.rank) return false;
+  // Empty ranges (e.g. the data half of a pure-signal put_signal with zero
+  // payload bytes) touch no memory and cannot race.
+  if (a.bytes == 0 || b.bytes == 0) return false;
+  if (a.off >= b.off + b.bytes || b.off >= a.off + a.bytes) return false;
+  if (!is_write(a.kind) && !is_write(b.kind)) return false;
+  if (atomic_class(a.kind, a.cls) && atomic_class(b.kind, b.cls)) return false;
+  return true;
+}
+
+std::uint32_t Checker::scan_and_record(int space, int owner, Rec rec) {
+  Region& region =
+      spaces_[static_cast<std::size_t>(space)].regions[static_cast<std::size_t>(
+          owner)];
+  const Clock& observer_vc = vc_[static_cast<std::size_t>(rec.rank)];
+  for (const Rec& old : region.recs) {
+    if (!conflicts(old, rec)) continue;
+    // old happens-before the new access iff old has completed and the new
+    // access's rank already knows old.rank's clock past old's order point.
+    const bool ordered =
+        !old.in_flight && old.order_clk <= clk(observer_vc, old.rank);
+    if (ordered) continue;
+    std::string v = "race on ";
+    v += where(space, owner);
+    v += ": ";
+    v += to_string(rec.kind);
+    v += " by rank " + std::to_string(rec.rank) + " @" + fmt_t(rec.t) +
+         " bytes " + fmt_range(rec.off, rec.bytes);
+    v += " conflicts with ";
+    v += to_string(old.kind);
+    if (old.in_flight) v += " (in flight)";
+    v += " by rank " + std::to_string(old.rank) + " @" + fmt_t(old.t) +
+         " bytes " + fmt_range(old.off, old.bytes);
+    v += " — unordered in happens-before";
+    add_violation(rec.rank, std::move(v));
+  }
+  if (region.recs.size() >=
+      static_cast<std::size_t>(history_limit_)) {
+    ++region.overflow;
+    return kNoRec;
+  }
+  region.recs.push_back(std::move(rec));
+  return static_cast<std::uint32_t>(region.recs.size()) - 1;
+}
+
+void Checker::on_send(int src, int dst, std::uint64_t seq) {
+  if (!enabled_) return;
+  tick(src);
+  wire(src, dst).msgs.emplace_back(seq, vc_[static_cast<std::size_t>(src)]);
+}
+
+void Checker::on_recv(int dst, int src, std::uint64_t seq) {
+  if (!enabled_) return;
+  Wire& w = wire(src, dst);
+  // Keyed lookup, not front-pop: tag-filtered matching can consume the
+  // wire out of FIFO order.
+  for (std::size_t i = 0; i < w.msgs.size(); ++i) {
+    if (w.msgs[i].first != seq) continue;
+    join(dst, w.msgs[i].second);
+    w.msgs.erase(w.msgs.begin() + static_cast<std::ptrdiff_t>(i));
+    break;
+  }
+  tick(dst);
+}
+
+CollEnter Checker::on_collective_enter(int chan, int rank, const CollSig& sig,
+                                       simnet::TimeUs t) {
+  CollEnter out;
+  if (!enabled_) return out;
+  Channel& c = channels_[static_cast<std::size_t>(chan)];
+  out.gen = c.gen;
+  if (c.entered == 0) {
+    c.expected = sig;
+    c.first_rank = rank;
+    c.first_t = t;
+  } else if (std::strcmp(c.expected.kind, sig.kind) != 0 ||
+             c.expected.root != sig.root || c.expected.bytes != sig.bytes) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "collective mismatch on %s (gen %" PRIu64
+                  "): rank %d @%s entered %s(root=%d, bytes=%" PRIu64
+                  ") but rank %d @%s entered %s(root=%d, bytes=%" PRIu64 ")",
+                  c.name.c_str(), c.gen, rank, fmt_t(t).c_str(), sig.kind,
+                  sig.root, sig.bytes, c.first_rank,
+                  fmt_t(c.first_t).c_str(), c.expected.kind, c.expected.root,
+                  c.expected.bytes);
+    add_violation(rank, buf);
+    out.ok = false;
+    return out;
+  }
+  tick(rank);
+  const Clock& mine = vc_[static_cast<std::size_t>(rank)];
+  if (c.entered == 0) {
+    // First entrant seeds the wave merge densely; same-base followers (the
+    // norm — everyone shares the previous wave's baseline) then cost only
+    // their delta sizes, keeping a wave at O(ranks) total, not O(ranks²).
+    c.merged = dense(mine);
+    c.wave_base = mine.base;
+  } else if (mine.base == c.wave_base) {
+    for (const auto& [r, v] : mine.delta) {
+      auto& slot = c.merged[static_cast<std::size_t>(r)];
+      slot = std::max(slot, v);
+    }
+  } else {
+    for (int r = 0; r < nranks_; ++r) {
+      auto& slot = c.merged[static_cast<std::size_t>(r)];
+      slot = std::max(slot, clk(mine, r));
+    }
+  }
+  c.in_wave[static_cast<std::size_t>(rank)] = 1;
+  ++c.entered;
+  if (c.entered == nranks_) {
+    ChanSlot& slot = c.done[c.gen % 4];
+    slot.gen = c.gen;
+    slot.merged.base = std::make_shared<const std::vector<std::uint64_t>>(
+        std::move(c.merged));
+    slot.merged.delta.clear();
+    c.merged = {};
+    c.wave_base = nullptr;
+    std::fill(c.in_wave.begin(), c.in_wave.end(), std::uint8_t{0});
+    c.entered = 0;
+    ++c.gen;
+    if (c.clears_space >= 0) {
+      // Global RMA sync (fence / SHMEM barrier): every put on this space is
+      // complete, and the history restarts — nothing before the sync can
+      // race with anything after it. The runtime applied all pending
+      // deliveries before this hook ran, so no record handles survive.
+      Space& sp = spaces_[static_cast<std::size_t>(c.clears_space)];
+      for (Region& region : sp.regions) region.recs.clear();
+      for (auto& fl : in_flight_) {
+        fl.erase(std::remove_if(fl.begin(), fl.end(),
+                                [&](const InFlight& f) {
+                                  return f.space == c.clears_space;
+                                }),
+                 fl.end());
+      }
+    }
+  }
+  return out;
+}
+
+void Checker::on_collective_complete(int chan, int rank, std::uint64_t gen) {
+  if (!enabled_) return;
+  Channel& c = channels_[static_cast<std::size_t>(chan)];
+  const ChanSlot& slot = c.done[gen % 4];
+  if (slot.gen == gen) {
+    // The merged wave clock dominates this rank's: the rank was blocked
+    // since entering, and the only mid-wave mutation — an on_applied join —
+    // injects some origin's issue-time snapshot, which that origin's own
+    // entry clock (already merged) dominates. So adopt the wave clock as the
+    // new shared baseline instead of joining: O(1), and it is exactly this
+    // collapse that keeps every rank's delta sparse between collectives.
+    vc_[static_cast<std::size_t>(rank)] = Clock{slot.merged.base, {}};
+  }
+  tick(rank);
+}
+
+PutHandles Checker::on_put(int origin, int space, int owner,
+                           std::uint64_t off, std::uint64_t bytes,
+                           PutClass cls, std::uint64_t sig_off,
+                           simnet::TimeUs t) {
+  PutHandles h;
+  if (!enabled_) return h;
+
+  // Epoch discipline before recording: a signal issued while earlier data
+  // puts to the same target are still in flight may overtake them (MPI RMA
+  // and SHMEM both order signal delivery only after flush/quiet).
+  if (cls == PutClass::kSignal || cls == PutClass::kFused) {
+    for (const InFlight& f : in_flight_[static_cast<std::size_t>(origin)]) {
+      if (f.space != space || f.owner != owner || f.idx == kNoRec) continue;
+      const Rec& prior = spaces_[static_cast<std::size_t>(space)]
+                             .regions[static_cast<std::size_t>(owner)]
+                             .recs[f.idx];
+      if (!prior.in_flight || prior.cls != PutClass::kData) continue;
+      std::string v = cls == PutClass::kSignal
+                          ? "sync misuse: signal put by rank "
+                          : "sync misuse: put_signal by rank ";
+      v += std::to_string(origin) + " @" + fmt_t(t) + " to " +
+           where(space, owner) + " may overtake unflushed data put bytes " +
+           fmt_range(prior.off, prior.bytes) + " @" + fmt_t(prior.t) +
+           (cls == PutClass::kSignal ? " — flush before signaling"
+                                     : " — quiet before put_signal");
+      add_violation(origin, std::move(v));
+      break;  // one diagnostic per signal op, not one per pending put
+    }
+  }
+
+  tick(origin);
+  Rec rec;
+  rec.rank = origin;
+  rec.kind = AccessKind::kPut;
+  rec.cls = cls;
+  rec.in_flight = true;
+  rec.off = off;
+  rec.bytes = bytes;
+  rec.order_clk = ~0ull;
+  rec.t = t;
+  rec.vc = vc_[static_cast<std::size_t>(origin)];  // cheap: shared base
+  h.data = scan_and_record(space, owner, std::move(rec));
+  if (h.data != kNoRec) {
+    in_flight_[static_cast<std::size_t>(origin)].push_back(
+        {space, owner, h.data});
+  }
+
+  if (cls == PutClass::kFused) {
+    Rec sig;
+    sig.rank = origin;
+    sig.kind = AccessKind::kAtomic;
+    sig.cls = PutClass::kFused;
+    sig.in_flight = true;
+    sig.off = sig_off;
+    sig.bytes = 8;
+    sig.order_clk = ~0ull;
+    sig.t = t;
+    sig.vc = vc_[static_cast<std::size_t>(origin)];
+    h.sig = scan_and_record(space, owner, std::move(sig));
+    if (h.sig != kNoRec) {
+      in_flight_[static_cast<std::size_t>(origin)].push_back(
+          {space, owner, h.sig});
+    }
+  }
+  return h;
+}
+
+void Checker::on_get(int origin, int space, int owner, std::uint64_t off,
+                     std::uint64_t bytes, simnet::TimeUs t) {
+  if (!enabled_) return;
+  tick(origin);
+  Rec rec;
+  rec.rank = origin;
+  rec.kind = AccessKind::kGet;
+  rec.off = off;
+  rec.bytes = bytes;
+  rec.order_clk = clk(vc_[static_cast<std::size_t>(origin)], origin);
+  rec.t = t;
+  scan_and_record(space, owner, std::move(rec));
+}
+
+void Checker::on_atomic(int origin, int space, int owner, std::uint64_t off,
+                        simnet::TimeUs t) {
+  if (!enabled_) return;
+  tick(origin);
+  Rec rec;
+  rec.rank = origin;
+  rec.kind = AccessKind::kAtomic;
+  rec.off = off;
+  rec.bytes = 8;
+  rec.order_clk = clk(vc_[static_cast<std::size_t>(origin)], origin);
+  rec.t = t;
+  scan_and_record(space, owner, std::move(rec));
+}
+
+void Checker::on_local(int rank, int space, std::uint64_t off,
+                       std::uint64_t bytes, bool is_write_access,
+                       bool unapplied_overlap, simnet::TimeUs t) {
+  if (!enabled_) return;
+  if (unapplied_overlap && !is_write_access) {
+    std::string v = "sync misuse: local_read by rank " + std::to_string(rank) +
+                    " @" + fmt_t(t) + " of " + where(space, rank) + " bytes " +
+                    fmt_range(off, bytes) +
+                    " overlaps an arrived but unapplied put — missing "
+                    "MPI_Win_sync / wait before reading";
+    add_violation(rank, std::move(v));
+  }
+  tick(rank);
+  Rec rec;
+  rec.rank = rank;
+  rec.kind = is_write_access ? AccessKind::kLocalWrite : AccessKind::kLocalRead;
+  rec.off = off;
+  rec.bytes = bytes;
+  rec.order_clk = clk(vc_[static_cast<std::size_t>(rank)], rank);
+  rec.t = t;
+  scan_and_record(space, rank, std::move(rec));
+}
+
+void Checker::on_signal_wait(int rank, int space, std::uint64_t off,
+                             std::uint64_t bytes, simnet::TimeUs t) {
+  if (!enabled_) return;
+  tick(rank);
+  Rec rec;
+  rec.rank = rank;
+  rec.kind = AccessKind::kAtomic;  // signal waits model atomic word loads
+  rec.off = off;
+  rec.bytes = bytes;
+  rec.order_clk = clk(vc_[static_cast<std::size_t>(rank)], rank);
+  rec.t = t;
+  scan_and_record(space, rank, std::move(rec));
+}
+
+void Checker::on_flush(int origin, int space, int target) {
+  if (!enabled_) return;
+  // Tick first so the order point is strictly newer than any clock snapshot
+  // that escaped via earlier sends: only post-flush knowledge orders the put.
+  tick(origin);
+  const std::uint64_t order =
+      clk(vc_[static_cast<std::size_t>(origin)], origin);
+  auto& fl = in_flight_[static_cast<std::size_t>(origin)];
+  for (std::size_t i = 0; i < fl.size();) {
+    const InFlight& f = fl[i];
+    if (f.space != space || (target >= 0 && f.owner != target)) {
+      ++i;
+      continue;
+    }
+    Rec& rec = spaces_[static_cast<std::size_t>(f.space)]
+                   .regions[static_cast<std::size_t>(f.owner)]
+                   .recs[f.idx];
+    if (rec.in_flight) {
+      rec.in_flight = false;
+      rec.order_clk = std::min(rec.order_clk, order);
+    }
+    fl.erase(fl.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void Checker::on_applied(int space, int owner, const PutHandles& h) {
+  if (!enabled_) return;
+  Region& region =
+      spaces_[static_cast<std::size_t>(space)].regions[static_cast<std::size_t>(
+          owner)];
+  const std::uint32_t handles[2] = {h.data, h.sig};
+  for (std::uint32_t idx : handles) {
+    if (idx == kNoRec) continue;
+    Rec& rec = region.recs[idx];
+    rec.applied = true;
+    if (rec.vc.base != nullptr) {
+      // The target observes the delivery: it now knows everything the origin
+      // knew when it issued the put.
+      join(owner, rec.vc);
+      const std::uint64_t issue_clk = clk(rec.vc, rec.rank);
+      rec.order_clk = std::min(rec.order_clk, issue_clk);
+      rec.vc = Clock{};
+    }
+    if (rec.in_flight) {
+      rec.in_flight = false;
+      auto& fl = in_flight_[static_cast<std::size_t>(rec.rank)];
+      fl.erase(std::remove_if(fl.begin(), fl.end(),
+                              [&](const InFlight& f) {
+                                return f.space == space && f.owner == owner &&
+                                       f.idx == idx;
+                              }),
+               fl.end());
+    }
+  }
+}
+
+void Checker::on_run_end() {
+  if (!enabled_) return;
+  for (int origin = 0; origin < nranks_; ++origin) {
+    const auto& fl = in_flight_[static_cast<std::size_t>(origin)];
+    for (const InFlight& f : fl) {
+      const Rec& rec = spaces_[static_cast<std::size_t>(f.space)]
+                           .regions[static_cast<std::size_t>(f.owner)]
+                           .recs[f.idx];
+      if (!rec.in_flight) continue;
+      std::string v = "sync misuse: put by rank " + std::to_string(origin) +
+                      " @" + fmt_t(rec.t) + " to " + where(f.space, f.owner) +
+                      " bytes " + fmt_range(rec.off, rec.bytes) +
+                      " was never completed — missing flush/quiet/fence "
+                      "before finishing";
+      add_violation(origin, std::move(v));
+    }
+  }
+}
+
+std::string Checker::report() const {
+  std::string out = "RMA checker: " +
+                    std::to_string(violations_.size() + suppressed_) +
+                    " violation(s)";
+  std::uint64_t dropped = 0;
+  for (const Space& sp : spaces_) {
+    for (const Region& region : sp.regions) dropped += region.overflow;
+  }
+  if (dropped != 0) {
+    out += " (history limit reached: " + std::to_string(dropped) +
+           " accesses unchecked; raise --check-history)";
+  }
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    out += "\n  [" + std::to_string(i + 1) + "] " + violations_[i];
+  }
+  if (suppressed_ != 0) {
+    out += "\n  ... " + std::to_string(suppressed_) + " more suppressed";
+  }
+  return out;
+}
+
+std::string Checker::deadlock_note() const {
+  std::string out;
+  for (const Channel& c : channels_) {
+    if (c.entered == 0) continue;
+    out += "\n  collective " + c.name + " gen " + std::to_string(c.gen) +
+           ": " + std::to_string(c.entered) + "/" + std::to_string(nranks_) +
+           " entered (" + c.expected.kind + "), waiting for ranks";
+    int listed = 0;
+    for (int r = 0; r < nranks_; ++r) {
+      if (c.in_wave[static_cast<std::size_t>(r)]) continue;
+      if (listed == 8) {
+        out += " ...";
+        break;
+      }
+      out += (listed == 0 ? " " : ", ") + std::to_string(r);
+      ++listed;
+    }
+  }
+  return out;
+}
+
+namespace {
+std::atomic<bool> g_default_check{[] {
+  const char* env = std::getenv("MSGROOF_CHECK");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}()};
+std::atomic<std::uint64_t> g_default_check_history{1u << 16};
+}  // namespace
+
+bool default_check() { return g_default_check.load(std::memory_order_relaxed); }
+void set_default_check(bool on) {
+  g_default_check.store(on, std::memory_order_relaxed);
+}
+std::uint64_t default_check_history() {
+  return g_default_check_history.load(std::memory_order_relaxed);
+}
+void set_default_check_history(std::uint64_t n) {
+  g_default_check_history.store(n, std::memory_order_relaxed);
+}
+
+}  // namespace mrl::check

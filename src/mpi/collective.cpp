@@ -18,11 +18,13 @@ double rounds_for(int nranks) {
 }
 }  // namespace
 
-void Comm::barrier() {
+void Comm::barrier() { barrier_kind("barrier"); }
+
+void Comm::barrier_kind(const char* kind) {
   const simnet::LogGP& pp = p2p_params();
   rank_->advance(pp.o_us);
   const double cost = rounds_for(size()) * (2.0 * pp.o_us + pp.L_us);
-  collective(cost, 0.0, 0.0, nullptr, 0);
+  collective(cost, 0.0, 0.0, nullptr, 0, check::CollSig{kind, -1, 0});
 }
 
 double Comm::allreduce_sum(double v) {
@@ -32,7 +34,9 @@ double Comm::allreduce_sum(double v) {
       0, size() - 1, size());
   const double cost = rounds_for(size()) *
                       (2.0 * pp.o_us + pp.L_us + 8.0 * gbs_to_us_per_byte(pair_bw));
-  return collective(cost, v, 0.0, nullptr, 0).sum;
+  return collective(cost, v, 0.0, nullptr, 0,
+                    check::CollSig{"allreduce_sum", -1, 8})
+      .sum;
 }
 
 double Comm::allreduce_max(double v) {
@@ -42,7 +46,9 @@ double Comm::allreduce_max(double v) {
       0, size() - 1, size());
   const double cost = rounds_for(size()) *
                       (2.0 * pp.o_us + pp.L_us + 8.0 * gbs_to_us_per_byte(pair_bw));
-  return collective(cost, 0.0, v, nullptr, 0).max;
+  return collective(cost, 0.0, v, nullptr, 0,
+                    check::CollSig{"allreduce_max", -1, 8})
+      .max;
 }
 
 void Comm::bcast(void* buf, std::uint64_t bytes, int root) {
@@ -56,7 +62,8 @@ void Comm::bcast(void* buf, std::uint64_t bytes, int root) {
       (2.0 * pp.o_us + pp.L_us +
        static_cast<double>(bytes) * gbs_to_us_per_byte(pair_bw));
   const World::CollSlot& slot =
-      collective(cost, 0.0, 0.0, rank() == root ? buf : nullptr, bytes);
+      collective(cost, 0.0, 0.0, rank() == root ? buf : nullptr, bytes,
+                 check::CollSig{"bcast", root, bytes});
   if (rank() != root) {
     MRL_CHECK_MSG(slot.payload.size() == bytes, "bcast size mismatch");
     std::memcpy(buf, slot.payload.data(), bytes);

@@ -49,18 +49,45 @@ WinHandle Comm::create_win(void* base, std::uint64_t bytes) {
     win = world_->windows_[static_cast<std::size_t>(idx)].get();
     win->region_[static_cast<std::size_t>(rank())] =
         Win::Region{static_cast<std::byte*>(base), bytes};
+    auto& chk = world_->engine_.checker();
+    if (chk.enabled() && win->chk_space_ < 0) {
+      // First rank to expose registers the window's shadow space and its
+      // fence channel (fence completion is a global sync: it clears the
+      // space's access history).
+      const std::string name = "win" + std::to_string(idx);
+      win->chk_space_ = chk.add_space(name);
+      win->chk_chan_ = chk.add_channel(name + ".fence", win->chk_space_);
+    }
   });
-  barrier();  // window is usable only after everyone exposed their region
+  // Window is usable only after everyone exposed their region. Tagged
+  // distinctly so a create_win on one rank cannot silently pair with a
+  // user barrier on another.
+  barrier_kind("win.create");
   return WinHandle(win, this);
 }
 
 const World::CollSlot& Comm::collective(double cost_us, double sum_contrib,
                                         double max_contrib,
                                         const void* payload,
-                                        std::uint64_t payload_bytes) {
+                                        std::uint64_t payload_bytes,
+                                        const check::CollSig& sig) {
   World::Rendezvous& rv = world_->coll_;
   std::uint64_t my_gen = 0;
   world_->engine_.perform(*rank_, [&] {
+    auto& chk = world_->engine_.checker();
+    if (chk.enabled()) {
+      if (world_->chk_chan_ < 0) {
+        world_->chk_chan_ = chk.add_channel("mpi.world");
+      }
+      const check::CollEnter ce = chk.on_collective_enter(
+          world_->chk_chan_, rank(), sig, rank_->now());
+      if (!ce.ok) {
+        // Mismatched collectives abort immediately: letting the kind-blind
+        // rendezvous below pair them would deadlock or corrupt payloads.
+        world_->engine_.abort_run(*rank_, ErrorCode::kFailedPrecondition,
+                                  chk.report());
+      }
+    }
     if (rv.entered == 0) {
       rv.acc_sum = 0;
       rv.acc_max = -std::numeric_limits<double>::infinity();
@@ -100,6 +127,10 @@ const World::CollSlot& Comm::collective(double cost_us, double sum_contrib,
         return slot.done_at;
       },
       {}, runtime::WaitGate{&rv.generation, my_gen + 1});
+  auto& chk = world_->engine_.checker();
+  if (chk.enabled() && world_->chk_chan_ >= 0) {
+    chk.on_collective_complete(world_->chk_chan_, rank(), my_gen);
+  }
   rank_->bump_epoch();
   world_->engine_.metrics().on_collective(rank());
   return slot;

@@ -83,6 +83,9 @@ class World {
     std::array<CollSlot, 4> done;
   };
   Rendezvous coll_;
+  /// RMA-checker channel for the world collective rendezvous (lazily
+  /// registered on first collective when the checker is on).
+  int chk_chan_ = -1;
 
   std::vector<std::unique_ptr<Win>> windows_;
 };
@@ -137,10 +140,18 @@ class Comm {
 
   /// Modeled-cost collective rendezvous. Contributes the reduction values
   /// (and, for the root, the broadcast payload), blocks until every rank has
-  /// entered, and returns the completed generation's result slot.
+  /// entered, and returns the completed generation's result slot. `sig` is
+  /// the checker's collective signature (kind must be a string literal);
+  /// mismatched signatures across ranks abort the run with a diagnostic.
   const World::CollSlot& collective(double cost_us, double sum_contrib,
                                     double max_contrib, const void* payload,
-                                    std::uint64_t payload_bytes);
+                                    std::uint64_t payload_bytes,
+                                    const check::CollSig& sig);
+
+  /// barrier() with a distinct checker signature kind (create_win tags its
+  /// internal barrier "win.create" so it cannot silently match a user
+  /// barrier on another rank).
+  void barrier_kind(const char* kind);
 
   World* world_;
   runtime::Rank* rank_;

@@ -49,6 +49,10 @@ Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
     eng.record_msg(simnet::MsgRecord{rank(), dst, bytes, rank_->now(),
                                      m.arrival_us, simnet::OpKind::kSend,
                                      rank_->epoch(), tr.drops});
+    // Happens-before edge: the sender's clock snapshot rides with the
+    // message, keyed by the per-pair FIFO seq (matching can be tag-filtered
+    // and consume out of FIFO order, so the join is seq-keyed too).
+    eng.checker().on_send(rank(), dst, m.seq);
     world_->mailbox_[static_cast<std::size_t>(dst)].push_back(std::move(m));
     req.send_complete_us = tr.inject_free_us;
   });
@@ -106,6 +110,7 @@ RecvInfo Comm::match_and_consume(void* buf, std::uint64_t max_bytes, int src,
         info.tag = best->tag;
         info.bytes = best->bytes;
         info.arrival_us = best->arrival_us;
+        eng.checker().on_recv(rank(), best->src, best->seq);
         box.erase(best);
       });
   rank_->advance(p2p_params().o_us);  // receiver overhead

@@ -51,6 +51,15 @@ void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
     }
     pp2.arrival = arrival;
     pp2.seq = put_seq_++;
+    auto& chk = eng.checker();
+    if (chk.enabled() && chk_space_ >= 0) {
+      const check::PutHandles h = chk.on_put(
+          c.rank(), chk_space_, target, target_off, bytes,
+          kind == simnet::OpKind::kSignal ? check::PutClass::kSignal
+                                          : check::PutClass::kData,
+          0, c.now());
+      pp2.chk_data = h.data;
+    }
     pending_[static_cast<std::size_t>(target)].push_back(std::move(pp2));
 
     outstanding_[static_cast<std::size_t>(c.rank())].push_back(
@@ -89,6 +98,10 @@ void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
     // Reads current contents: arrived-but-unapplied puts are not visible,
     // matching our separate-memory RMA model.
     std::memcpy(dest, tr.base + target_off, bytes);
+    auto& chk = eng.checker();
+    if (chk.enabled() && chk_space_ >= 0) {
+      chk.on_get(c.rank(), chk_space_, target, target_off, bytes, c.now());
+    }
     // Gets keep their historical kPut trace encoding (changing it would
     // change every existing trace byte); is_get reclassifies for metrics.
     eng.record_msg(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
@@ -114,6 +127,10 @@ void Win::flush(Comm& c, int target) {
     });
     outs.erase(it, outs.end());
     if (done > c.now()) c.rank_ctx().advance(done - c.now());
+    auto& chk = eng.checker();
+    if (chk.enabled() && chk_space_ >= 0) {
+      chk.on_flush(c.rank(), chk_space_, target);
+    }
   });
   c.rank_ctx().bump_epoch();
 }
@@ -153,11 +170,18 @@ void Win::apply_pending_locked(int rank, simnet::TimeUs cutoff) {
             });
   const Region& reg = region_[static_cast<std::size_t>(rank)];
   auto& metrics = world_->engine_.metrics();
+  auto& chk = world_->engine_.checker();
   for (const PendingPut& p : ready) {
     if (!p.data.empty()) {
       std::memcpy(reg.base + p.off, p.data.data(), p.data.size());
     }
     metrics.on_recv(rank, p.bytes);
+    if (chk.enabled() && chk_space_ >= 0) {
+      // Target-side observation: the put completes and `rank` learns the
+      // origin's clock at issue.
+      chk.on_applied(chk_space_, rank,
+                     check::PutHandles{p.chk_data, check::kNoRec});
+    }
   }
 }
 
@@ -205,6 +229,10 @@ std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
       eng.metrics().on_cas_attempt(c.rank(), old == compare);
     } else {
       *p = old + operand;
+    }
+    auto& chk = eng.checker();
+    if (chk.enabled() && chk_space_ >= 0) {
+      chk.on_atomic(c.rank(), chk_space_, target, target_off, c.now());
     }
     // Request/response through the fabric: atomics contend on link lanes
     // (e.g. the Summit X-Bus per-transaction occupancy) but skip the put
@@ -277,6 +305,18 @@ void Win::fence(Comm& c) {
       fence_entered_ = 0;
       ++fence_gen_;
     }
+    auto& chk = eng.checker();
+    if (chk.enabled() && chk_chan_ >= 0) {
+      // After the apply loop above, so every pending put has reported its
+      // application before the last entrant's space-clearing enter hook —
+      // no shadow-record handle survives the clear.
+      const check::CollEnter ce = chk.on_collective_enter(
+          chk_chan_, c.rank(), check::CollSig{"win.fence", -1, 0}, c.now());
+      if (!ce.ok) {
+        eng.abort_run(c.rank_ctx(), ErrorCode::kFailedPrecondition,
+                      chk.report());
+      }
+    }
   });
   const FenceSlot& slot = fence_done_[my_gen % fence_done_.size()];
   // Gated on the fence generation: waiters are not re-evaluated until the
@@ -289,11 +329,33 @@ void Win::fence(Comm& c) {
         return slot.done_at;
       },
       {}, runtime::WaitGate{&fence_gen_, my_gen + 1});
+  auto& chk = eng.checker();
+  if (chk.enabled() && chk_chan_ >= 0) {
+    chk.on_collective_complete(chk_chan_, c.rank(), my_gen);
+  }
   c.rank_ctx().bump_epoch();
 }
 
 std::size_t Win::unapplied_count(int rank) const {
   return pending_[static_cast<std::size_t>(rank)].size();
+}
+
+void Win::local_access(Comm& c, std::uint64_t off, std::uint64_t bytes,
+                       bool is_write) {
+  auto& chk = world_->engine_.checker();
+  if (!chk.enabled() || chk_space_ < 0) return;
+  // Rank bodies execute one at a time and all window state mutates inside
+  // perform bodies, so reading pending_ directly here is race-free and
+  // deterministic; no perform, no clock movement, no cost.
+  bool unapplied = false;
+  for (const PendingPut& p :
+       pending_[static_cast<std::size_t>(c.rank())]) {
+    if (p.arrival <= c.now() && p.off < off + bytes && off < p.off + p.bytes) {
+      unapplied = true;
+      break;
+    }
+  }
+  chk.on_local(c.rank(), chk_space_, off, bytes, is_write, unapplied, c.now());
 }
 
 }  // namespace mrl::mpi

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "mpi/types.hpp"
 #include "simnet/trace.hpp"
 
@@ -80,6 +81,13 @@ class Win {
   /// (test/diagnostic hook).
   [[nodiscard]] std::size_t unapplied_count(int rank) const;
 
+  /// Annotates a local load/store on the caller's own exposure region for
+  /// the RMA checker (DESIGN.md §11). Free: no cost model, no clock change,
+  /// and a single branch when the checker is off. A local read overlapping
+  /// an arrived-but-unapplied put is the missing-MPI_Win_sync bug.
+  void local_access(Comm& c, std::uint64_t off, std::uint64_t bytes,
+                    bool is_write);
+
  private:
   friend class Comm;
 
@@ -93,6 +101,8 @@ class Win {
     std::vector<std::byte> data;  ///< empty when payload capture is off
     simnet::TimeUs arrival = 0;
     std::uint64_t seq = 0;
+    /// Checker shadow-record handle; reported back when the put applies.
+    std::uint32_t chk_data = check::kNoRec;
   };
   struct Outstanding {
     int target = -1;
@@ -124,6 +134,12 @@ class Win {
   int fence_entered_ = 0;
   simnet::TimeUs fence_max_enter_ = 0;
   std::array<FenceSlot, 4> fence_done_;
+
+  // Checker registration (create_win fills these in when the checker is on):
+  // this window's shadow space and its fence channel (fence completion is a
+  // global sync for the space, so the channel clears it).
+  int chk_space_ = -1;
+  int chk_chan_ = -1;
 };
 
 /// Per-rank view of a window: the handle workload code holds.
@@ -155,6 +171,14 @@ class WinHandle {
   std::uint64_t fetch_add(std::uint64_t add, int target,
                           std::uint64_t target_off) {
     return win_->fetch_add(*comm_, add, target, target_off);
+  }
+  /// RMA-checker annotations for direct loads/stores of my own exposure
+  /// region (no-ops unless --check is on; see Win::local_access).
+  void local_read(std::uint64_t off, std::uint64_t bytes) {
+    win_->local_access(*comm_, off, bytes, /*is_write=*/false);
+  }
+  void local_write(std::uint64_t off, std::uint64_t bytes) {
+    win_->local_access(*comm_, off, bytes, /*is_write=*/true);
   }
 
   [[nodiscard]] Win& win() { return *win_; }

@@ -71,6 +71,8 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
   fabric_ = platform_.make_fabric();
   trace_.set_enabled(opt_.trace);
   metrics_.set_enabled(opt_.metrics);
+  checker_.set_enabled(opt_.check);
+  checker_.set_history_limit(opt_.check_history);
   ranks_.reserve(static_cast<std::size_t>(nranks_));
   for (int i = 0; i < nranks_; ++i) {
     std::unique_ptr<Rank> r(new Rank());  // ctor is Engine-private
@@ -108,10 +110,32 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
   RunResult res = opt_.backend == EngineBackend::kFibers ? run_fibers(body)
                                                          : run_threads(body);
   running_.store(false);
-  if (opt_.metrics && res.ok()) {
+  bool checker_verdict = false;
+  if (checker_.enabled()) {
+    if (res.ok()) {
+      // End-of-run sweep (never-completed puts), then convert an otherwise
+      // clean run into a checker verdict. The report text is built purely
+      // from virtual-time-ordered events, so it is bit-identical across
+      // backends, job counts, and schedulers.
+      checker_.on_run_end();
+      if (checker_.has_violations()) {
+        res.status = Status(ErrorCode::kFailedPrecondition, checker_.report());
+      }
+    }
+    checker_verdict = res.status.code() == ErrorCode::kFailedPrecondition;
+    const auto& counts = checker_.violation_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0) {
+        metrics_.on_violations(static_cast<int>(i), counts[i]);
+      }
+    }
+  }
+  if (opt_.metrics && (res.ok() || checker_verdict)) {
     // Registry aggregation is restricted to commutative quantities, so the
     // nondeterministic publish order under parallel sweeps cannot perturb
-    // the exported bytes (DESIGN.md §9).
+    // the exported bytes (DESIGN.md §9). Checker verdicts still publish:
+    // the simulation itself completed, and the CSV is where the violations
+    // counter family lands.
     MetricsRegistry::instance().publish(metrics_report());
   }
   return res;
@@ -163,6 +187,7 @@ void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   if (opt_.reset_fabric_each_run) fabric_->reset();
   trace_.clear();
   metrics_.reset(nranks_);
+  if (checker_.enabled()) checker_.reset(nranks_);
   const bool heap = opt_.scheduler == SchedulerKind::kIndexedHeap;
   ready_.clear();
   blocked_.clear();
@@ -180,6 +205,8 @@ void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
     r->gated_ = false;
     r->cond_ = nullptr;
     r->what_ = "";
+    r->last_wait_what_ = nullptr;
+    r->last_wait_t_ = 0;
     if (heap) {
       ready_heap_.push(r->id_, r->wake_);
     } else {
@@ -294,8 +321,18 @@ void Engine::note_deadlock_locked() {
     if (r->state_ == Rank::State::kBlocked) {
       os << " rank " << r->id_ << " waiting on [" << r->what_ << "] at t="
          << r->clock_ << "us;";
+    } else if (r->state_ == Rank::State::kDone) {
+      // Finished ranks are often the cause (e.g. a rank that skipped a
+      // collective): say what they last blocked on before exiting.
+      os << " rank " << r->id_ << " done at t=" << r->clock_ << "us";
+      if (r->last_wait_what_ != nullptr) {
+        os << " (last blocked on [" << r->last_wait_what_ << "] at t="
+           << r->last_wait_t_ << "us)";
+      }
+      os << ";";
     }
   }
+  if (checker_.enabled()) os << checker_.deadlock_note();
   abort_ = true;
   abort_reason_ = os.str();
   MRL_LOG_ERROR("%s", abort_reason_.c_str());
@@ -421,11 +458,32 @@ void Engine::check_watchdog_locked(const Rank& r) {
       case Rank::State::kDone: os << " [done]"; break;
       default: os << " [runnable]"; break;
     }
+    // The last blocking op a runnable-or-done rank entered is usually the
+    // protocol step the stuck party is spinning against (e.g. a CAS retry
+    // storm): name it and its virtual time.
+    if (other->state_ != Rank::State::kBlocked &&
+        other->last_wait_what_ != nullptr) {
+      os << " (last blocked on [" << other->last_wait_what_ << "] at t="
+         << other->last_wait_t_ << "us)";
+    }
     os << ";";
   }
+  if (checker_.enabled()) os << checker_.deadlock_note();
   abort_ = true;
   abort_code_ = ErrorCode::kTimeout;
   abort_reason_ = os.str();
+  MRL_LOG_ERROR("%s", abort_reason_.c_str());
+  for (auto& other : ranks_) other->cv_.notify_all();  // thread backend
+  throw AbortException{};
+}
+
+void Engine::abort_run(Rank&, ErrorCode code, std::string reason) {
+  // Called from inside a perform body (the engine is quiescent; on the
+  // thread backend mu_ is already held by thread_perform) — same contract
+  // and unwind path as check_watchdog_locked.
+  abort_ = true;
+  abort_code_ = code;
+  abort_reason_ = std::move(reason);
   MRL_LOG_ERROR("%s", abort_reason_.c_str());
   for (auto& other : ranks_) other->cv_.notify_all();  // thread backend
   throw AbortException{};
@@ -449,6 +507,8 @@ void Engine::wait(Rank& r, const char* what,
   // Blocked duration is measured in virtual time (r.clock_), so it is
   // identical across backends and job counts by construction.
   const simnet::TimeUs t0 = r.clock_;
+  r.last_wait_what_ = what;
+  r.last_wait_t_ = r.clock_;
   // The linear-scan scheduler ignores gates: it brute-force re-evaluates
   // every blocked condition, which is exactly the oracle the cross-scheduler
   // identity tests compare the gated path against.

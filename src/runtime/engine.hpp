@@ -70,6 +70,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/metrics.hpp"
 #include "simnet/fabric.hpp"
@@ -195,6 +196,11 @@ class Rank {
   bool gated_ = false;       ///< kBlocked via a WaitGate (parked in gates_)
   const std::function<std::optional<double>()>* cond_ = nullptr;
   const char* what_ = "";  ///< wait description for deadlock reports
+  /// Last blocking wait this rank entered (and when, in virtual time) —
+  /// survives the wait itself, so watchdog/deadlock reports can say what a
+  /// stuck-or-finished rank last blocked on, not just who is blocked now.
+  const char* last_wait_what_ = nullptr;
+  simnet::TimeUs last_wait_t_ = 0;
   std::condition_variable cv_;  ///< thread backend only
 };
 
@@ -223,6 +229,13 @@ struct EngineOptions {
   /// the fiber backend, per-fiber stack high-water-marks. Disabled metrics
   /// cost one branch per hook and change no simulated time either way.
   bool metrics = default_metrics();
+  /// Run the RMA race & synchronization checker (DESIGN.md §11). Like
+  /// metrics: off by default, one branch per hook when disabled, and never
+  /// perturbs simulated time — enabling it leaves every CSV byte-identical.
+  /// Violations turn an otherwise-ok run into Status(kFailedPrecondition).
+  bool check = check::default_check();
+  /// Shadow-history cap per (window, owner-rank) region for the checker.
+  std::uint64_t check_history = check::default_check_history();
 };
 
 struct RunResult {
@@ -259,6 +272,8 @@ class Engine {
   [[nodiscard]] simnet::Trace& trace() { return trace_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] check::Checker& checker() { return checker_; }
+  [[nodiscard]] const check::Checker& checker() const { return checker_; }
 
   /// Records one fabric-visible message into the trace AND the metrics
   /// collector (the single choke point that keeps the two in agreement).
@@ -298,6 +313,12 @@ class Engine {
             const std::function<std::optional<double>()>& cond,
             const std::function<void()>& finalize = {},
             WaitGate gate = {});
+
+  /// Aborts the current run with `code` from inside a perform body or rank
+  /// context (used by the checker for collective mismatches, where letting
+  /// the run continue would crash on mismatched payloads). Does not return:
+  /// unwinds the calling rank via the same abort machinery as the watchdog.
+  [[noreturn]] void abort_run(Rank& r, ErrorCode code, std::string reason);
 
  private:
   struct AbortException {};
@@ -351,6 +372,7 @@ class Engine {
   std::unique_ptr<simnet::Fabric> fabric_;
   simnet::Trace trace_;
   Metrics metrics_;
+  check::Checker checker_;
 
   std::mutex mu_;
   std::vector<std::unique_ptr<Rank>> ranks_;  // created once, reset per run

@@ -48,6 +48,7 @@ void counter_rows(std::vector<Row>& rows, const std::string& section,
   put("bytes_sent", c.bytes_sent);
   put("bytes_recv", c.bytes_recv);
   put("drops", c.drops);
+  put("violations", c.violations);
 }
 
 void hist_rows(std::vector<Row>& rows, const std::string& section,
@@ -74,6 +75,7 @@ void OpCounters::add(const OpCounters& o) {
   bytes_sent += o.bytes_sent;
   bytes_recv += o.bytes_recv;
   drops += o.drops;
+  violations += o.violations;
 }
 
 RankMetrics MetricsReport::totals() const {
@@ -136,7 +138,8 @@ std::string MetricsReport::to_json() const {
        << ",\"atomics\":" << c.atomics << ",\"cas_failures\":" << c.cas_failures
        << ",\"collectives\":" << c.collectives << ",\"syncs\":" << c.syncs
        << ",\"waits\":" << c.waits << ",\"bytes_sent\":" << c.bytes_sent
-       << ",\"bytes_recv\":" << c.bytes_recv << ",\"drops\":" << c.drops;
+       << ",\"bytes_recv\":" << c.bytes_recv << ",\"drops\":" << c.drops
+       << ",\"violations\":" << c.violations;
   };
   os << "{\"nranks\":" << nranks << ",\"makespan_us\":" << fmt_f64(makespan_us)
      << ",\"total\":{";

@@ -51,6 +51,7 @@ struct OpCounters {
   std::uint64_t bytes_sent = 0;    ///< payload bytes issued (sends/puts/atomics)
   std::uint64_t bytes_recv = 0;    ///< payload bytes landed (recvs/gets)
   std::uint64_t drops = 0;         ///< fault-injected drops observed (sender side)
+  std::uint64_t violations = 0;    ///< RMA checker findings (DESIGN.md §11)
 
   void add(const OpCounters& o);
   /// Fabric-visible operations — equals the trace record count for layers
@@ -144,6 +145,12 @@ class Metrics {
   /// One Engine::wait completed after `blocked_us` of virtual time.
   void on_wait(int rank, double blocked_us) {
     if (enabled_) on_wait_slow(rank, blocked_us);
+  }
+  /// RMA checker findings attributed to `rank` (added once, at run end, so
+  /// the counter is exact whether the run finished or was aborted).
+  void on_violations(int rank, std::uint64_t n) {
+    if (!enabled_) return;
+    rank_at(rank).ops.violations += n;
   }
 
   [[nodiscard]] const std::vector<RankMetrics>& ranks() const {

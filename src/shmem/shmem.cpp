@@ -34,6 +34,15 @@ simnet::TimeUs World::clamp_fifo(int src, int dst, simnet::TimeUs arrival) {
   return last;
 }
 
+void World::chk_register_locked() {
+  auto& chk = engine_.checker();
+  if (!chk.enabled() || chk_space_ >= 0) return;
+  chk_space_ = chk.add_space("symheap");
+  // barrier_all implies quiet(): its completion clears the symheap's access
+  // history, so races are only reported within one barrier interval.
+  chk_chan_ = chk.add_channel("shmem.world", chk_space_);
+}
+
 void World::apply_locked(int pe, simnet::TimeUs cutoff) {
   auto& pend = pending_[static_cast<std::size_t>(pe)];
   if (pend.empty()) return;
@@ -48,12 +57,16 @@ void World::apply_locked(int pe, simnet::TimeUs cutoff) {
   });
   std::byte* base = heap_[static_cast<std::size_t>(pe)].data();
   auto& metrics = engine_.metrics();
+  auto& chk = engine_.checker();
   for (const Delivery& d : ready) {
     if (!d.data.empty()) std::memcpy(base + d.off, d.data.data(), d.data.size());
     if (d.has_signal) {
       std::memcpy(base + d.sig_off, &d.sig_val, sizeof(d.sig_val));
     }
     metrics.on_recv(pe, d.data_bytes);
+    if (chk.enabled() && chk_space_ >= 0) {
+      chk.on_applied(chk_space_, pe, check::PutHandles{d.chk_data, d.chk_sig});
+    }
   }
 }
 
@@ -125,6 +138,16 @@ void Ctx::put_bytes_nbi(std::uint64_t dest_off, const void* src,
     d.sig_val = sig_val;
     d.arrival = arrival;
     d.seq = world_->seq_++;
+    auto& chk = eng.checker();
+    if (chk.enabled()) {
+      world_->chk_register_locked();
+      const check::PutHandles h = chk.on_put(
+          pe(), world_->chk_space_, target_pe, dest_off, bytes,
+          has_signal ? check::PutClass::kFused : check::PutClass::kData,
+          sig_off, rank_->now());
+      d.chk_data = h.data;
+      d.chk_sig = h.sig;
+    }
     world_->pending_[static_cast<std::size_t>(target_pe)].push_back(
         std::move(d));
     world_->outstanding_[static_cast<std::size_t>(pe())].push_back(
@@ -158,6 +181,12 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
         dest,
         world_->heap_[static_cast<std::size_t>(target_pe)].data() + src_off,
         bytes);
+    auto& chk = eng.checker();
+    if (chk.enabled()) {
+      world_->chk_register_locked();
+      chk.on_get(pe(), world_->chk_space_, target_pe, src_off, bytes,
+                 rank_->now());
+    }
   });
   rank_->advance(total_us);
   // SHMEM gets were never traced (and adding a record would change existing
@@ -192,7 +221,19 @@ void Ctx::wait_local(const char* what, const std::function<bool()>& pred) {
   }
 }
 
+// Marks the watched signal words as an atomic-class read on the waiting PE
+// (so data puts racing with the poll are flagged, but the paired put_signal's
+// own signal word never self-flags). Exactly one rank executes at a time, so
+// touching the checker from rank context is race-free and deterministic.
+void Ctx::note_signal_wait(std::uint64_t off, std::uint64_t bytes) {
+  auto& chk = world_->engine_.checker();
+  if (!chk.enabled()) return;
+  world_->chk_register_locked();
+  chk.on_signal_wait(pe(), world_->chk_space_, off, bytes, now());
+}
+
 void Ctx::wait_until(Sym<std::uint64_t> sig, std::uint64_t val) {
+  note_signal_wait(sig.offset, 8);
   const std::uint64_t* p = local(sig);
   wait_local("shmem.wait_until", [p, val] { return *p == val; });
 }
@@ -200,6 +241,7 @@ void Ctx::wait_until(Sym<std::uint64_t> sig, std::uint64_t val) {
 std::size_t Ctx::wait_until_any(Sym<std::uint64_t> sigs, std::size_t n,
                                 const std::int32_t* status,
                                 std::uint64_t val) {
+  note_signal_wait(sigs.offset, n * 8);
   const std::uint64_t* p = local(sigs);
   std::size_t found = n;
   wait_local("shmem.wait_until_any", [&, p, val] {
@@ -218,6 +260,7 @@ std::size_t Ctx::wait_until_any(Sym<std::uint64_t> sigs, std::size_t n,
 
 void Ctx::wait_until_all(Sym<std::uint64_t> sigs, std::size_t n,
                          const std::int32_t* status, std::uint64_t val) {
+  note_signal_wait(sigs.offset, n * 8);
   const std::uint64_t* p = local(sigs);
   wait_local("shmem.wait_until_all", [&, p, val] {
     for (std::size_t i = 0; i < n; ++i) {
@@ -240,6 +283,10 @@ void Ctx::quiet() {
     }
     outs.clear();
     if (done > rank_->now()) rank_->advance(done - rank_->now());
+    auto& chk = eng.checker();
+    if (chk.enabled() && world_->chk_space_ >= 0) {
+      chk.on_flush(pe(), world_->chk_space_, /*target=*/-1);
+    }
   });
   rank_->bump_epoch();
 }
@@ -264,6 +311,12 @@ std::uint64_t Ctx::atomic_rmw(std::uint64_t target_off, std::uint64_t operand,
       eng.metrics().on_cas_attempt(pe(), old == compare);
     } else {
       *p = old + operand;
+    }
+    auto& chk = eng.checker();
+    if (chk.enabled()) {
+      world_->chk_register_locked();
+      chk.on_atomic(pe(), world_->chk_space_, target_pe, target_off,
+                    rank_->now());
     }
     // Request/response through the fabric (atomics contend on link lanes,
     // e.g. the Summit X-Bus per-transaction occupancy).
@@ -306,9 +359,11 @@ std::uint64_t Ctx::atomic_fetch_add(Sym<std::uint64_t> target,
   return atomic_rmw(target.offset, add, 0, /*is_cas=*/false, target_pe);
 }
 
-void Ctx::barrier_all() { sum_all(0.0); }
+void Ctx::barrier_all() { sum_all_kind("barrier_all", 0.0); }
 
-double Ctx::sum_all(double v) {
+double Ctx::sum_all(double v) { return sum_all_kind("sum_all", v); }
+
+double Ctx::sum_all_kind(const char* kind, double v) {
   const simnet::LogGP& pp = params();
   rank_->advance(pp.o_us);
   auto& eng = world_->engine_;
@@ -344,6 +399,20 @@ double Ctx::sum_all(double v) {
       world_->entered_ = 0;
       ++world_->gen_;
     }
+    auto& chk = eng.checker();
+    if (chk.enabled()) {
+      world_->chk_register_locked();
+      // Enter AFTER the last entrant's apply loop above: applying reports
+      // put handles back to the checker, and the channel's space-clear on
+      // the final entry would otherwise dangle them.
+      const check::CollEnter ce = chk.on_collective_enter(
+          world_->chk_chan_, pe(), check::CollSig{kind, -1, 0}, rank_->now());
+      if (!ce.ok) {
+        // A kind-blind rendezvous pairing barrier_all with sum_all would
+        // silently corrupt the reduction; abort with the diagnostic.
+        eng.abort_run(*rank_, ErrorCode::kFailedPrecondition, chk.report());
+      }
+    }
   });
   const World::CollSlot& slot = world_->done_[my_gen % 4];
   // Gated on the barrier generation (see runtime::WaitGate, DESIGN.md §10).
@@ -355,9 +424,38 @@ double Ctx::sum_all(double v) {
         return slot.done_at;
       },
       {}, runtime::WaitGate{&world_->gen_, my_gen + 1});
+  auto& chk = eng.checker();
+  if (chk.enabled() && world_->chk_chan_ >= 0) {
+    chk.on_collective_complete(world_->chk_chan_, pe(), my_gen);
+  }
   rank_->bump_epoch();
   eng.metrics().on_collective(pe());
   return slot.sum;
+}
+
+void Ctx::local_access(std::uint64_t off, std::uint64_t bytes, bool is_write) {
+  auto& chk = world_->engine_.checker();
+  if (!chk.enabled() || world_->chk_space_ < 0) return;
+  // A read overlapping a delivery that has arrived but was not yet applied
+  // on this PE means the program skipped the wait_until/barrier that would
+  // have drained it — exactly the missing-synchronization bug. Exactly one
+  // rank executes at a time, so the direct scan is race-free and
+  // deterministic.
+  bool unapplied = false;
+  for (const World::Delivery& d :
+       world_->pending_[static_cast<std::size_t>(pe())]) {
+    if (d.arrival > now()) continue;
+    const bool data_hit =
+        d.off < off + bytes && off < d.off + d.data_bytes;
+    const bool sig_hit =
+        d.has_signal && d.sig_off < off + bytes && off < d.sig_off + 8;
+    if (data_hit || sig_hit) {
+      unapplied = true;
+      break;
+    }
+  }
+  chk.on_local(pe(), world_->chk_space_, off, bytes, is_write, unapplied,
+               now());
 }
 
 }  // namespace mrl::shmem

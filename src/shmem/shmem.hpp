@@ -68,6 +68,9 @@ class World {
     std::uint64_t sig_val = 0;
     simnet::TimeUs arrival = 0;
     std::uint64_t seq = 0;
+    /// Checker shadow-record handles, reported back at application.
+    std::uint32_t chk_data = check::kNoRec;
+    std::uint32_t chk_sig = check::kNoRec;
   };
   struct Outstanding {
     int target = -1;
@@ -82,6 +85,11 @@ class World {
 
   /// Applies all deliveries for `pe` with arrival <= cutoff, in order.
   void apply_locked(int pe, simnet::TimeUs cutoff);
+
+  /// Lazily registers the symmetric heap's shadow space and the barrier
+  /// channel with the RMA checker (must run inside a perform body; the
+  /// checker resets after World construction, at engine-run start).
+  void chk_register_locked();
 
   simnet::TimeUs clamp_fifo(int src, int dst, simnet::TimeUs arrival);
 
@@ -106,6 +114,12 @@ class World {
   simnet::TimeUs max_enter_ = 0;
   double acc_sum_ = 0;
   CollSlot done_[4];
+
+  // RMA-checker registration: the symmetric heap's shadow space and the
+  // barrier channel (barrier_all implies quiet, so its completion clears
+  // the space's access history).
+  int chk_space_ = -1;
+  int chk_chan_ = -1;
 };
 
 /// Per-PE handle (the `Ctx&` each PE body receives).
@@ -184,6 +198,18 @@ class Ctx {
   void barrier_all();
   double sum_all(double v);  ///< allreduce-sum convenience
 
+  /// RMA-checker annotations for direct loads/stores of my own
+  /// symmetric-heap memory (free no-ops unless --check is on). A read
+  /// overlapping an arrived-but-unapplied delivery is the missing-wait bug.
+  template <typename T>
+  void local_read(Sym<T> s, std::uint64_t count = 1) {
+    local_access(s.offset, count * sizeof(T), /*is_write=*/false);
+  }
+  template <typename T>
+  void local_write(Sym<T> s, std::uint64_t count = 1) {
+    local_access(s.offset, count * sizeof(T), /*is_write=*/true);
+  }
+
  private:
   friend class World;
   Ctx(World* world, runtime::Rank* rank) : world_(world), rank_(rank) {}
@@ -208,6 +234,10 @@ class Ctx {
 
   /// Shared wait loop: re-applies arrivals until `pred` holds locally.
   void wait_local(const char* what, const std::function<bool()>& pred);
+
+  double sum_all_kind(const char* kind, double v);
+  void local_access(std::uint64_t off, std::uint64_t bytes, bool is_write);
+  void note_signal_wait(std::uint64_t off, std::uint64_t bytes);
 
   World* world_;
   runtime::Rank* rank_;

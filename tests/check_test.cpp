@@ -1,0 +1,445 @@
+// RMA race & synchronization checker (DESIGN.md §11): injected-race corpus
+// (every diagnostic family fires with rank/time/op/byte-range detail),
+// zero-false-positive runs over the paper workloads, verdict byte-identity
+// across backends and schedulers, zero perturbation of simulated time, the
+// violations metrics family, and the enriched deadlock/watchdog notes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/win.hpp"
+#include "runtime/engine.hpp"
+#include "shmem/shmem.hpp"
+#include "simnet/platform.hpp"
+#include "workloads/hashtable/hashtable.hpp"
+#include "workloads/sptrsv/sptrsv.hpp"
+#include "workloads/stencil/stencil.hpp"
+
+namespace mrl {
+namespace {
+
+using runtime::Engine;
+using runtime::EngineBackend;
+using runtime::EngineOptions;
+using runtime::SchedulerKind;
+
+EngineOptions checked() {
+  EngineOptions o;
+  o.check = true;
+  return o;
+}
+
+bool contains(const std::string& hay, const char* needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+// --- injected-race corpus -------------------------------------------------
+// Each program is a minimal known-bad pattern; helpers return the run Status
+// so the identity test can replay them under every backend/scheduler.
+
+Status mpi_overlapping_puts(EngineOptions opt) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 3, opt);
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(32, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    double v = c.rank();
+    if (c.rank() < 2) {
+      // Both origins write rank 2's bytes [0, 8) in the same fence epoch.
+      win.put(&v, sizeof(v), 2, 0);
+      win.flush(2);
+    }
+    win.fence();
+  });
+  return res.status;
+}
+
+Status shmem_overlapping_puts(EngineOptions opt) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 3, opt);
+  const auto res = shmem::World::run(eng, [](shmem::Ctx& s) {
+    auto data = s.allocate<double>(8);
+    double v = s.pe();
+    if (s.pe() < 2) {
+      s.put_nbi(data, &v, 1, 2);
+      s.quiet();
+    }
+    s.barrier_all();
+  });
+  return res.status;
+}
+
+TEST(CheckCorpus, MpiOverlappingConcurrentPuts) {
+  const Status st = mpi_overlapping_puts(checked());
+  ASSERT_EQ(st.code(), ErrorCode::kFailedPrecondition) << st.to_string();
+  EXPECT_TRUE(contains(st.to_string(), "race on win0@rank2"))
+      << st.to_string();
+  EXPECT_TRUE(contains(st.to_string(), "unordered in happens-before"))
+      << st.to_string();
+  EXPECT_TRUE(contains(st.to_string(), "bytes [0, 8)")) << st.to_string();
+}
+
+TEST(CheckCorpus, MpiGetRacesWithPut) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 3, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    double v = 1.0;
+    if (c.rank() == 0) {
+      win.put(&v, sizeof(v), 2, 0);
+      win.flush(2);
+    } else if (c.rank() == 1) {
+      win.get(&v, sizeof(v), 2, 0);  // unordered against rank 0's put
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(), "race on win0@rank2"));
+  EXPECT_TRUE(contains(res.status.to_string(), "get"));
+}
+
+TEST(CheckCorpus, MpiMissingFlushBeforeSignalPut) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(16, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double data[8] = {0};
+      std::uint64_t sig = 1;
+      win.put(data, sizeof(data), 1, 0);
+      // BUG: no flush between the data put and the signal put.
+      win.put(&sig, sizeof(sig), 1, 64, simnet::OpKind::kSignal);
+      win.flush_all();
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(), "flush before signaling"))
+      << res.status.to_string();
+}
+
+TEST(CheckCorpus, MpiLocalReadWithoutWinSync) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double v = 7.0;
+      win.put(&v, sizeof(v), 1, 0);
+      win.flush(1);
+    }
+    // The barrier orders the flushed put (no race) and guarantees it has
+    // arrived at rank 1 — but window memory is NOT coherent: it stays
+    // unapplied until a Win_sync/fence.
+    c.barrier();
+    if (c.rank() == 1) {
+      win.local_read(0, 8);  // BUG: reads bytes an arrived put will change
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(), "missing MPI_Win_sync"))
+      << res.status.to_string();
+}
+
+TEST(CheckCorpus, MpiPutNeverFlushedAtExit) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double v = 1.0;
+      win.put(&v, sizeof(v), 1, 0);
+      // BUG: rank finishes with the put still in flight.
+    }
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(),
+                       "missing flush/quiet/fence before finishing"))
+      << res.status.to_string();
+}
+
+TEST(CheckCorpus, MpiCollectiveKindMismatch) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();
+    } else {
+      c.allreduce_sum(1.0);
+    }
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(),
+                       "collective mismatch on mpi.world"))
+      << res.status.to_string();
+}
+
+TEST(CheckCorpus, MpiBcastRootMismatch) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    double v = 0;
+    c.bcast(&v, sizeof(v), c.rank());  // BUG: every rank names itself root
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "collective mismatch")) << s;
+  EXPECT_TRUE(contains(s, "root=")) << s;
+}
+
+TEST(CheckCorpus, MpiCreateWinCannotPairWithUserBarrier) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> buf(8, 0.0);
+      c.create_win(buf.data(), buf.size() * sizeof(double));
+    } else {
+      c.barrier();
+    }
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "collective mismatch")) << s;
+  EXPECT_TRUE(contains(s, "win.create")) << s;
+}
+
+TEST(CheckCorpus, ShmemMissingQuietBeforePutSignal) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2, checked());
+  const auto res = shmem::World::run(eng, [](shmem::Ctx& s) {
+    auto data = s.allocate<double>(64);
+    auto aux = s.allocate<double>(8);
+    auto sig = s.allocate<std::uint64_t>(1);
+    if (s.pe() == 0) {
+      double src[64] = {0};
+      s.put_nbi(data, src, 64, 1);
+      // BUG: fused signal issued while the plain put is still in flight.
+      s.put_signal_nbi(aux, src, 8, sig, 1, 1);
+      s.quiet();
+    }
+    s.barrier_all();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(), "quiet before put_signal"))
+      << res.status.to_string();
+}
+
+TEST(CheckCorpus, ShmemOverlappingPuts) {
+  const Status st = shmem_overlapping_puts(checked());
+  ASSERT_EQ(st.code(), ErrorCode::kFailedPrecondition) << st.to_string();
+  EXPECT_TRUE(contains(st.to_string(), "race on symheap@rank2"))
+      << st.to_string();
+}
+
+TEST(CheckCorpus, ShmemAtomicRacesWithDataPut) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 3, checked());
+  const auto res = shmem::World::run(eng, [](shmem::Ctx& s) {
+    auto data = s.allocate<std::uint64_t>(4);
+    if (s.pe() == 0) {
+      std::uint64_t src[4] = {0};
+      s.put_nbi(data, src, 4, 2);  // plain data put covering the word
+      s.quiet();
+    } else if (s.pe() == 1) {
+      s.atomic_fetch_add(data, 1, 2);  // atomic on the same word, unordered
+    }
+    s.barrier_all();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string st = res.status.to_string();
+  EXPECT_TRUE(contains(st, "race on symheap@rank2")) << st;
+  EXPECT_TRUE(contains(st, "atomic")) << st;
+}
+
+TEST(CheckCorpus, ShmemBarrierVsSumAllMismatch) {
+  Engine eng(simnet::Platform::perlmutter_gpu(), 2, checked());
+  const auto res = shmem::World::run(eng, [](shmem::Ctx& s) {
+    if (s.pe() == 0) {
+      s.barrier_all();
+    } else {
+      s.sum_all(1.0);
+    }
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(),
+                       "collective mismatch on shmem.world"))
+      << res.status.to_string();
+}
+
+// --- clean programs: zero false positives ---------------------------------
+
+TEST(CheckClean, FencedPutsAndSignalWaitPatternsPass) {
+  // MPI: the paper's fence-delimited exchange. Also exercises Win_sync.
+  {
+    Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+    const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+      std::vector<double> buf(8, 0.0);
+      auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+      win.fence();
+      double v = c.rank();
+      win.put(&v, sizeof(v), 1 - c.rank(), 0);
+      win.flush(1 - c.rank());
+      win.fence();
+      win.local_read(0, 8);  // ordered: the fence applied everything
+      win.fence();
+    });
+    ASSERT_TRUE(res.ok()) << res.status.to_string();
+  }
+  // SHMEM: put-with-signal + wait_until + quiet (the paper's GPU pattern).
+  {
+    Engine eng(simnet::Platform::perlmutter_gpu(), 2, checked());
+    const auto res = shmem::World::run(eng, [](shmem::Ctx& s) {
+      auto data = s.allocate<double>(64);
+      auto sig = s.allocate<std::uint64_t>(1);
+      if (s.pe() == 0) {
+        double src[64] = {0};
+        s.put_signal_nbi(data, src, 64, sig, 1, 1);
+        s.quiet();
+      } else {
+        s.wait_until(sig, 1);
+        s.local_read(data, 64);  // ordered through the signal wait
+      }
+      s.barrier_all();
+    });
+    ASSERT_TRUE(res.ok()) << res.status.to_string();
+  }
+}
+
+TEST(CheckClean, AllPaperWorkloadsRunCleanUnderChecker) {
+  check::set_default_check(true);
+  const auto cpu = simnet::Platform::perlmutter_cpu(1);
+  const auto gpu = simnet::Platform::perlmutter_gpu();
+
+  workloads::stencil::Config scfg;
+  scfg.n = 64;
+  scfg.iters = 2;
+  for (const auto& r : {workloads::stencil::run_two_sided(cpu, 4, scfg),
+                        workloads::stencil::run_one_sided(cpu, 4, scfg),
+                        workloads::stencil::run_shmem_gpu(gpu, 4, scfg),
+                        workloads::stencil::run_host_staged_gpu(gpu, 4, scfg)}) {
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+  }
+
+  workloads::sptrsv::GenConfig g;
+  g.n = 400;
+  const auto L = workloads::sptrsv::SupernodalMatrix::generate(g);
+  workloads::sptrsv::Config pcfg;
+  for (const auto& r : {workloads::sptrsv::run_two_sided(cpu, 4, L, pcfg),
+                        workloads::sptrsv::run_one_sided(cpu, 4, L, pcfg),
+                        workloads::sptrsv::run_shmem_gpu(gpu, 4, L, pcfg)}) {
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+  }
+
+  workloads::hashtable::Config hcfg;
+  hcfg.total_inserts = 2000;
+  for (const auto& r : {workloads::hashtable::run_one_sided(cpu, 4, hcfg),
+                        workloads::hashtable::run_two_sided(cpu, 4, hcfg),
+                        workloads::hashtable::run_shmem_gpu(gpu, 4, hcfg)}) {
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+  }
+  check::set_default_check(false);
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(CheckIdentity, VerdictBytesIdenticalAcrossBackendsAndSchedulers) {
+  std::vector<std::string> mpi_verdicts;
+  std::vector<std::string> shmem_verdicts;
+  for (EngineBackend backend :
+       {EngineBackend::kFibers, EngineBackend::kThreads}) {
+    if (backend == EngineBackend::kFibers && !runtime::fibers_supported()) {
+      continue;
+    }
+    for (SchedulerKind sched :
+         {SchedulerKind::kIndexedHeap, SchedulerKind::kLinearScan}) {
+      EngineOptions o = checked();
+      o.backend = backend;
+      o.scheduler = sched;
+      mpi_verdicts.push_back(mpi_overlapping_puts(o).to_string());
+      shmem_verdicts.push_back(shmem_overlapping_puts(o).to_string());
+    }
+  }
+  ASSERT_GE(mpi_verdicts.size(), 2u);
+  for (std::size_t i = 1; i < mpi_verdicts.size(); ++i) {
+    EXPECT_EQ(mpi_verdicts[0], mpi_verdicts[i]);
+    EXPECT_EQ(shmem_verdicts[0], shmem_verdicts[i]);
+  }
+  EXPECT_TRUE(contains(mpi_verdicts[0], "race on"));
+  EXPECT_TRUE(contains(shmem_verdicts[0], "race on"));
+}
+
+TEST(CheckZeroPerturbation, CheckerOnLeavesSimulatedTimeIdentical) {
+  const auto cpu = simnet::Platform::perlmutter_cpu(1);
+  workloads::stencil::Config cfg;
+  cfg.n = 64;
+  cfg.iters = 2;
+  const auto plain = workloads::stencil::run_one_sided(cpu, 4, cfg);
+  check::set_default_check(true);
+  const auto under_check = workloads::stencil::run_one_sided(cpu, 4, cfg);
+  check::set_default_check(false);
+  ASSERT_TRUE(plain.status.is_ok());
+  ASSERT_TRUE(under_check.status.is_ok());
+  EXPECT_EQ(plain.time_us, under_check.time_us);
+}
+
+// --- metrics + diagnostics satellites -------------------------------------
+
+TEST(CheckMetrics, ViolationsCounterFamilyPublishes) {
+  EngineOptions o = checked();
+  o.metrics = true;
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 3, o);
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    double v = c.rank();
+    if (c.rank() < 2) {
+      win.put(&v, sizeof(v), 2, 0);
+      win.flush(2);
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const runtime::MetricsReport rep = eng.metrics_report();
+  std::uint64_t total = 0;
+  for (const auto& r : rep.ranks) total += r.ops.violations;
+  EXPECT_GE(total, 1u);
+}
+
+TEST(CheckDiagnostics, DeadlockReportsLastBlockingOpOfDoneRanks) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    double v = 0;
+    if (c.rank() == 0) {
+      c.send(&v, sizeof(v), 1, 0);
+      c.recv(&v, sizeof(v), 1, 0);  // never sent: deadlock once rank 1 exits
+    } else {
+      c.recv(&v, sizeof(v), 0, 0);
+    }
+  });
+  ASSERT_FALSE(res.ok());
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "recv")) << s;
+  EXPECT_TRUE(contains(s, "last blocked on [recv]")) << s;
+}
+
+TEST(CheckDiagnostics, DeadlockNoteNamesStragglersOfOpenCollective) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    if (c.rank() == 0) c.barrier();  // rank 1 never joins
+  });
+  ASSERT_FALSE(res.ok());
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "collective mpi.world gen 0: 1/2 entered (barrier)"))
+      << s;
+  EXPECT_TRUE(contains(s, "waiting for ranks 1")) << s;
+}
+
+TEST(CheckDisabled, ChecksAreFreeWhenOff) {
+  // Same bad program, checker off: the run must succeed untouched.
+  EngineOptions o;
+  o.check = false;
+  const Status st = mpi_overlapping_puts(o);
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+}
+
+}  // namespace
+}  // namespace mrl
