@@ -8,17 +8,26 @@
 //   fig05_stencil_100k  one-sided stencil, 100000 ranks (800 nodes)
 //   fig07_grid          the Fig 7 GPU workload trio at 4 PEs
 //   ext_fault_sweep     degraded-network sweep, 3 flavors x 5 intensities
+//   stencil_1m          one-sided stencil, 1,000,000 ranks — the pooled-stack
+//                       + gated-wait + SoA scale smoke (DESIGN.md §12); also
+//                       reports ranks/sec. Needs ~71 GB resident (~70 KB per
+//                       rank): --skip-1m omits it (small machines, the CI
+//                       perf sweep), --only-1m runs nothing else (the CI
+//                       guarded smoke job).
 //
 // "Simulated ops" are scheduler-visible operations counted by the metrics
 // layer: fabric ops (sends/puts/gets/atomics) + syncs + waits. Wall time is
-// steady_clock; peak RSS is /proc/self/status VmHWM (process-wide high-water
-// mark, so per-section values are nondecreasing).
+// steady_clock. Peak RSS is /proc/self/status VmHWM, reset per section via
+// /proc/self/clear_refs (code 5) so each section reports its own high-water
+// mark; where the kernel forbids the reset, values degrade to the old
+// nondecreasing process-wide peak. The fiber stack pool is trimmed between
+// sections so one section's recycled stacks don't count against the next.
 //
-// With --baseline FILE the harness compares each section's ops_per_sec
-// against the committed baseline and exits 1 on a regression beyond
-// --tolerance (default 25%). Absolute throughput is machine-dependent, so CI
-// treats that gate as soft (artifact + report); the hard gates remain the
-// bit-identity tests.
+// With --baseline FILE the harness compares each section's ops_per_sec and
+// rss_mb against the committed baseline and exits 1 on a regression beyond
+// --tolerance / --rss-tolerance (default 25% each). Absolute throughput and
+// RSS are machine-dependent, so CI treats that gate as soft (artifact +
+// report); the hard gates remain the bit-identity tests.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,9 +40,11 @@
 #include "bench/bench_common.hpp"
 #include "core/sweep.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/fiber.hpp"
 #include "runtime/metrics.hpp"
 #include "simnet/fault.hpp"
 #include "simnet/platform.hpp"
+#include "util/parse.hpp"
 #include "workloads/hashtable/hashtable.hpp"
 #include "workloads/sptrsv/sptrsv.hpp"
 #include "workloads/stencil/stencil.hpp"
@@ -54,12 +65,25 @@ double peak_rss_mb() {
   return 0.0;
 }
 
+/// Resets the kernel's peak-RSS counter (VmHWM) to the current RSS so the
+/// next peak_rss_mb() reads this section's own high-water mark instead of
+/// the monotone process-wide one. Returns false where /proc/self/clear_refs
+/// is absent or read-only (non-Linux, hardened kernels); rss_mb then falls
+/// back to the old nondecreasing semantics.
+bool reset_peak_rss() {
+  std::ofstream f("/proc/self/clear_refs");
+  if (!f) return false;
+  f << "5" << std::flush;
+  return f.good();
+}
+
 struct SectionResult {
   std::string name;
   std::uint64_t sim_ops = 0;
   double wall_s = 0;
   double ops_per_sec = 0;
-  double rss_mb = 0;  ///< VmHWM after the section (nondecreasing)
+  double rss_mb = 0;   ///< VmHWM during the section (see reset_peak_rss)
+  std::uint64_t ranks = 0;  ///< simulated ranks; >0 adds ranks_per_sec
 };
 
 std::uint64_t scheduler_visible_ops(const runtime::OpCounters& c) {
@@ -69,9 +93,14 @@ std::uint64_t scheduler_visible_ops(const runtime::OpCounters& c) {
 /// Runs `body` as one pinned section with the metrics registry as the
 /// simulated-op counter.
 template <typename F>
-SectionResult run_section(const std::string& name, F&& body) {
+SectionResult run_section(const std::string& name, F&& body,
+                          std::uint64_t ranks = 0) {
   auto& reg = runtime::MetricsRegistry::instance();
   reg.reset();
+  // Return the previous section's recycled fiber stacks to the kernel and
+  // rebase the peak-RSS counter: rss_mb then measures THIS section.
+  runtime::stack_pool_trim();
+  reset_peak_rss();
   std::printf("[perf] %-20s ...", name.c_str());
   std::fflush(stdout);
   const auto t0 = std::chrono::steady_clock::now();
@@ -83,9 +112,14 @@ SectionResult run_section(const std::string& name, F&& body) {
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.ops_per_sec = r.wall_s > 0 ? static_cast<double>(r.sim_ops) / r.wall_s : 0;
   r.rss_mb = peak_rss_mb();
-  std::printf(" %12llu ops  %8.3f s  %12.0f ops/s  rss %.1f MB\n",
+  r.ranks = ranks;
+  std::printf(" %12llu ops  %8.3f s  %12.0f ops/s  rss %.1f MB",
               static_cast<unsigned long long>(r.sim_ops), r.wall_s,
               r.ops_per_sec, r.rss_mb);
+  if (ranks > 0 && r.wall_s > 0) {
+    std::printf("  %.0f ranks/s", static_cast<double>(ranks) / r.wall_s);
+  }
+  std::printf("\n");
   return r;
 }
 
@@ -125,8 +159,13 @@ void write_json(const std::string& path, const std::vector<SectionResult>& rs,
     os << "    {\"name\": \"" << r.name << "\", \"sim_ops\": " << r.sim_ops
        << ", \"wall_s\": " << json_escape_free(r.wall_s)
        << ", \"ops_per_sec\": " << json_escape_free(r.ops_per_sec)
-       << ", \"rss_mb\": " << json_escape_free(r.rss_mb) << "}"
-       << (i + 1 < rs.size() ? "," : "") << "\n";
+       << ", \"rss_mb\": " << json_escape_free(r.rss_mb);
+    if (r.ranks > 0) {
+      os << ", \"ranks\": " << r.ranks << ", \"ranks_per_sec\": "
+         << json_escape_free(
+                r.wall_s > 0 ? static_cast<double>(r.ranks) / r.wall_s : 0);
+    }
+    os << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
   }
   os << "  ],\n"
      << "  \"total\": {\"sim_ops\": " << total_ops
@@ -161,7 +200,8 @@ double json_section_value(const std::string& text, const std::string& section,
 }
 
 int compare_baseline(const std::string& path,
-                     const std::vector<SectionResult>& rs, double tol_pct) {
+                     const std::vector<SectionResult>& rs, double tol_pct,
+                     double rss_tol_pct) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "[perf] baseline %s not readable; skipping gate\n",
@@ -184,15 +224,39 @@ int compare_baseline(const std::string& path,
                 r.name.c_str(), r.ops_per_sec, base, (ratio - 1.0) * 100.0,
                 ok ? "" : "  REGRESSION");
     if (!ok) ++failures;
+    // RSS gates in the other direction: bigger is worse. Baselines written
+    // before the per-section VmHWM reset carry the monotone process-wide
+    // peak, which can only over-state a section — so the gate stays sound.
+    const double rss_base = json_section_value(text, r.name, "rss_mb");
+    if (rss_base > 0 && r.rss_mb > 0) {
+      const double rss_ratio = r.rss_mb / rss_base;
+      const bool rss_ok = rss_ratio <= 1.0 + rss_tol_pct / 100.0;
+      std::printf("[perf] %-20s %10.1f vs baseline %10.1f MB     (%+.1f%%)%s\n",
+                  r.name.c_str(), r.rss_mb, rss_base,
+                  (rss_ratio - 1.0) * 100.0, rss_ok ? "" : "  RSS REGRESSION");
+      if (!rss_ok) ++failures;
+    }
   }
   if (failures > 0) {
     std::fprintf(stderr,
-                 "[perf] FAIL: %d section(s) regressed more than %.0f%%\n",
-                 failures, tol_pct);
+                 "[perf] FAIL: %d gate(s) regressed beyond tolerance "
+                 "(ops %.0f%%, rss %.0f%%)\n",
+                 failures, tol_pct, rss_tol_pct);
     return 1;
   }
-  std::printf("[perf] all sections within %.0f%% of baseline\n", tol_pct);
+  std::printf("[perf] all sections within tolerance (ops %.0f%%, rss %.0f%%)\n",
+              tol_pct, rss_tol_pct);
   return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out PATH] [--baseline PATH] [--tolerance PCT] "
+               "[--rss-tolerance PCT] [--jobs N] [--backend fibers|threads] "
+               "[--scheduler heap|linear] [--stack-pool on|off] "
+               "[--stack-pool-slab-mb N] [--skip-1m | --only-1m]\n",
+               argv0);
+  return 2;
 }
 
 }  // namespace
@@ -201,7 +265,10 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_engine.json";
   std::string baseline_path;
   double tol_pct = 25.0;
+  double rss_tol_pct = 25.0;
   int jobs = 1;
+  bool skip_1m = false;
+  bool only_1m = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -217,32 +284,60 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--baseline") == 0) {
       baseline_path = value("--baseline");
     } else if (std::strcmp(arg, "--tolerance") == 0) {
-      tol_pct = std::strtod(value("--tolerance"), nullptr);
+      const auto v = parse_f64(value("--tolerance"));
+      if (!v || *v < 0) return usage(argv[0]);
+      tol_pct = *v;
+    } else if (std::strcmp(arg, "--rss-tolerance") == 0) {
+      const auto v = parse_f64(value("--rss-tolerance"));
+      if (!v || *v < 0) return usage(argv[0]);
+      rss_tol_pct = *v;
     } else if (std::strcmp(arg, "--jobs") == 0) {
-      jobs = std::atoi(value("--jobs"));
-      if (jobs < 1) jobs = 1;
+      const auto v = parse_cli_int(value("--jobs"), 1, "--jobs");
+      if (!v) return usage(argv[0]);
+      jobs = static_cast<int>(*v);
     } else if (std::strcmp(arg, "--backend") == 0) {
       const char* v = value("--backend");
       if (std::strcmp(v, "threads") == 0) {
         runtime::set_default_backend(runtime::EngineBackend::kThreads);
-      } else if (std::strcmp(v, "fibers") == 0 &&
-                 runtime::fibers_supported()) {
-        runtime::set_default_backend(runtime::EngineBackend::kFibers);
+      } else if (std::strcmp(v, "fibers") == 0) {
+        if (runtime::fibers_supported()) {
+          runtime::set_default_backend(runtime::EngineBackend::kFibers);
+        }
+      } else {
+        return usage(argv[0]);
       }
     } else if (std::strcmp(arg, "--scheduler") == 0) {
       const char* v = value("--scheduler");
-      runtime::set_default_scheduler(
-          std::strcmp(v, "linear") == 0 ? runtime::SchedulerKind::kLinearScan
-                                        : runtime::SchedulerKind::kIndexedHeap);
+      if (std::strcmp(v, "linear") == 0) {
+        runtime::set_default_scheduler(runtime::SchedulerKind::kLinearScan);
+      } else if (std::strcmp(v, "heap") == 0) {
+        runtime::set_default_scheduler(runtime::SchedulerKind::kIndexedHeap);
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--stack-pool") == 0) {
+      const char* v = value("--stack-pool");
+      if (std::strcmp(v, "on") == 0) {
+        runtime::set_default_stack_pool(true);
+      } else if (std::strcmp(v, "off") == 0) {
+        runtime::set_default_stack_pool(false);
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--stack-pool-slab-mb") == 0) {
+      const auto v =
+          parse_cli_int(value("--stack-pool-slab-mb"), 1, "--stack-pool-slab-mb");
+      if (!v) return usage(argv[0]);
+      runtime::set_stack_pool_slab_bytes(static_cast<std::size_t>(*v) << 20);
+    } else if (std::strcmp(arg, "--skip-1m") == 0) {
+      skip_1m = true;
+    } else if (std::strcmp(arg, "--only-1m") == 0) {
+      only_1m = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--out PATH] [--baseline PATH] "
-                   "[--tolerance PCT] [--jobs N] [--backend B] "
-                   "[--scheduler S]\n",
-                   argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
+  if (skip_1m && only_1m) return usage(argv[0]);
 
   core::set_default_jobs(jobs);
   runtime::set_default_metrics(true);  // the sim-op counter
@@ -252,7 +347,7 @@ int main(int argc, char** argv) {
 
   std::vector<SectionResult> results;
 
-  results.push_back(run_section("fig01_roofline", [] {
+  if (!only_1m) results.push_back(run_section("fig01_roofline", [] {
     const auto plat = simnet::Platform::frontier_cpu();
     auto cfg = core::SweepConfig::defaults(core::SweepKind::kOneSidedMpi);
     cfg.iters = 4;
@@ -261,7 +356,7 @@ int main(int argc, char** argv) {
     check_ok(pts.is_ok() ? Status::ok() : pts.status(), "fig01 sweep");
   }));
 
-  {
+  if (!only_1m) {
     workloads::stencil::Config cfg;
     cfg.n = 1024;
     cfg.iters = 2;
@@ -273,7 +368,7 @@ int main(int argc, char** argv) {
     }));
   }
 
-  {
+  if (!only_1m) {
     // 100k ranks: shrink fiber stacks (64 KiB is ample — asserted by the
     // stack high-water-mark layer) so address space stays bounded.
     const std::size_t saved = runtime::default_fiber_stack_bytes();
@@ -290,7 +385,7 @@ int main(int argc, char** argv) {
     runtime::set_default_fiber_stack_bytes(saved);
   }
 
-  results.push_back(run_section("fig07_grid", [] {
+  if (!only_1m) results.push_back(run_section("fig07_grid", [] {
     const auto gpu = simnet::Platform::perlmutter_gpu();
     const int P = 4;
     workloads::stencil::Config stc;
@@ -313,7 +408,7 @@ int main(int argc, char** argv) {
              "fig07 hashtable");
   }));
 
-  results.push_back(run_section("ext_fault_sweep", [] {
+  if (!only_1m) results.push_back(run_section("ext_fault_sweep", [] {
     struct Flavor {
       core::SweepKind kind;
       simnet::Platform (*platform)();
@@ -343,9 +438,33 @@ int main(int argc, char** argv) {
     }
   }));
 
+  if (!skip_1m) {
+    // The scale smoke: one million ranks through the full one-sided stencil
+    // path. Feasible because of (DESIGN.md §12) pooled 16 KiB fiber stacks
+    // (measured stencil high-water mark is ~4.7 KiB, so the 4-page floor
+    // leaves >3x headroom), gated p2p/collective waits (no O(P^2) condition
+    // scans), the SoA rank hot fields, and chunked trace storage. One
+    // iteration keeps the section a smoke rather than a soak.
+    const std::size_t saved = runtime::default_fiber_stack_bytes();
+    runtime::set_default_fiber_stack_bytes(16 * 1024);
+    workloads::stencil::Config cfg;
+    cfg.n = 1024;
+    cfg.iters = 1;
+    cfg.verify = false;
+    results.push_back(run_section(
+        "stencil_1m",
+        [&cfg] {
+          const auto plat = simnet::Platform::perlmutter_cpu(8000);  // >= 1M
+          const auto r = workloads::stencil::run_one_sided(plat, 1000000, cfg);
+          check_ok(r.status, "stencil 1m");
+        },
+        /*ranks=*/1000000));
+    runtime::set_default_fiber_stack_bytes(saved);
+  }
+
   write_json(out_path, results, jobs);
   if (!baseline_path.empty()) {
-    return compare_baseline(baseline_path, results, tol_pct);
+    return compare_baseline(baseline_path, results, tol_pct, rss_tol_pct);
   }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/fiber.hpp"
 #include "runtime/metrics.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/trace_export.hpp"
@@ -73,6 +74,12 @@ using namespace mrl;
       "                  e.g. a 10240-rank perlmutter-cpu at N=80)\n"
       "  --stack-bytes N fiber stack size in bytes (default 256 KiB; lower\n"
       "                  it for very high rank counts)\n"
+      "  --stack-pool on|off  allocate fiber stacks as slots of pooled slabs\n"
+      "                  (default on: one VMA hosts many stacks and engines\n"
+      "                  recycle slots; off = one guarded mmap per fiber).\n"
+      "                  Simulation output is identical either way\n"
+      "  --stack-pool-slab-mb N  target MiB per pooled stack slab (default\n"
+      "                  64); geometry of future slabs only\n"
       "  --check         enable the RMA race & synchronization checker (off\n"
       "                  by default; violations fail the run with rank/time/\n"
       "                  op/byte-range diagnostics; MSGROOF_CHECK=1 works\n"
@@ -359,7 +366,9 @@ int main(int argc, char** argv) {
         std::strcmp(arg, "--watchdog-us") == 0 ||
         std::strcmp(arg, "--metrics") == 0 ||
         std::strcmp(arg, "--nodes") == 0 ||
-        std::strcmp(arg, "--stack-bytes") == 0) {
+        std::strcmp(arg, "--stack-bytes") == 0 ||
+        std::strcmp(arg, "--stack-pool") == 0 ||
+        std::strcmp(arg, "--stack-pool-slab-mb") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", arg);
         usage();
@@ -415,11 +424,29 @@ int main(int argc, char** argv) {
         const auto v = parse_cli_int(val, 1, "--nodes value");
         if (!v) usage();
         g_nodes = static_cast<int>(*v);
-      } else {  // --stack-bytes
+      } else if (std::strcmp(arg, "--stack-bytes") == 0) {
         const auto v = parse_cli_int(val, 16 * 1024, "--stack-bytes value");
         if (!v) usage();
         runtime::set_default_fiber_stack_bytes(
             static_cast<std::size_t>(*v));
+      } else if (std::strcmp(arg, "--stack-pool") == 0) {
+        if (std::strcmp(val, "on") == 0) {
+          runtime::set_default_stack_pool(true);
+        } else if (std::strcmp(val, "off") == 0) {
+          runtime::set_default_stack_pool(false);
+        } else {
+          std::fprintf(stderr,
+                       "invalid --stack-pool value '%s' (expected 'on' or "
+                       "'off')\n",
+                       val);
+          usage();
+        }
+      } else {  // --stack-pool-slab-mb
+        const auto v =
+            parse_cli_int(val, 1, "--stack-pool-slab-mb value");
+        if (!v) usage();
+        runtime::set_stack_pool_slab_bytes(static_cast<std::size_t>(*v)
+                                           << 20);
       }
       continue;
     }

@@ -11,6 +11,7 @@ namespace mrl::mpi {
 World::World(runtime::Engine& engine)
     : engine_(engine), nranks_(engine.nranks()) {
   mailbox_.resize(static_cast<std::size_t>(nranks_));
+  inbox_pushes_.resize(static_cast<std::size_t>(nranks_), 0);
   fifo_last_.reset(nranks_);
   fifo_seq_.reset(nranks_);
 }

@@ -12,7 +12,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -57,11 +56,20 @@ class World {
 
   runtime::Engine& engine_;
   int nranks_;
-  std::vector<std::deque<Msg>> mailbox_;          // per dst rank
+  // Per-dst mailboxes. Plain vectors, not deques: matching erases from the
+  // middle anyway, and an empty libstdc++ deque preallocates ~half a KiB —
+  // which is ~650 MB of dead weight at a million ranks.
+  std::vector<std::vector<Msg>> mailbox_;         // per dst rank
   // Keyed (src, dst); sparse above PairMap::kDenseRanks so large worlds
-  // don't materialize O(P^2) channel state.
+  // don't materialize O(P^2) channel state. at() references are stable until
+  // reset(), which lets fifo_seq_ entries double as WaitGate counters for
+  // gated receives (DESIGN.md §12).
   util::PairMap<simnet::TimeUs> fifo_last_;
   util::PairMap<std::uint64_t> fifo_seq_;
+  /// Total messages ever pushed into each rank's mailbox — the WaitGate
+  /// counter for ANY_SOURCE receives (a specific-source receive gates on
+  /// fifo_seq_.at(src, dst) instead).
+  std::vector<std::uint64_t> inbox_pushes_;
 
   // Collective rendezvous state (single communicator). Results are kept in a
   // small generation-indexed ring so late wakers of generation g can still

@@ -54,6 +54,9 @@ Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
     // and consume out of FIFO order, so the join is seq-keyed too).
     eng.checker().on_send(rank(), dst, m.seq);
     world_->mailbox_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+    // Advance dst's inbox gate counter: a receiver parked in a gated recv
+    // wait is only re-evaluated when this moves (match_and_consume).
+    ++world_->inbox_pushes_[static_cast<std::size_t>(dst)];
     req.send_complete_us = tr.inject_free_us;
   });
   req.done_ = false;
@@ -78,7 +81,7 @@ RecvInfo Comm::match_and_consume(void* buf, std::uint64_t max_bytes, int src,
 
   // Earliest-arriving matching message; FIFO clamping already guarantees
   // per-sender non-overtaking, so min-arrival is a valid MPI match order.
-  auto find_best = [&]() -> std::deque<Msg>::iterator {
+  auto find_best = [&]() -> std::vector<Msg>::iterator {
     auto best = box.end();
     for (auto it = box.begin(); it != box.end(); ++it) {
       if (!matches(*it, src, tag)) continue;
@@ -89,6 +92,23 @@ RecvInfo Comm::match_and_consume(void* buf, std::uint64_t max_bytes, int src,
     }
     return best;
   };
+
+  // Gate the wait on the message-arrival counter for the channel(s) this
+  // receive can match (DESIGN.md §12): a specific-source receive can only
+  // become matchable when src pushes again (fifo_seq_ is bumped at every
+  // push, and PairMap::at() references are stable), an ANY_SOURCE receive
+  // when anyone pushes to this rank's inbox. A push with a non-matching tag
+  // wakes the gate once and the engine re-parks the waiter at the next
+  // counter value — no per-perform re-evaluation either way.
+  runtime::WaitGate gate;
+  if (src == kAnySource) {
+    const std::uint64_t& ctr =
+        world_->inbox_pushes_[static_cast<std::size_t>(rank())];
+    gate = runtime::WaitGate{&ctr, ctr + 1};
+  } else {
+    const std::uint64_t& ctr = world_->fifo_seq_.at(src, rank());
+    gate = runtime::WaitGate{&ctr, ctr + 1};
+  }
 
   RecvInfo info;
   eng.wait(
@@ -112,7 +132,8 @@ RecvInfo Comm::match_and_consume(void* buf, std::uint64_t max_bytes, int src,
         info.arrival_us = best->arrival_us;
         eng.checker().on_recv(rank(), best->src, best->seq);
         box.erase(best);
-      });
+      },
+      gate);
   rank_->advance(p2p_params().o_us);  // receiver overhead
   eng.metrics().on_recv(rank(), info.bytes);
   return info;

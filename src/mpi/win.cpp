@@ -14,6 +14,7 @@ Win::Win(World* world, int nranks) : world_(world), nranks_(nranks) {
   region_.resize(static_cast<std::size_t>(nranks_));
   pending_.resize(static_cast<std::size_t>(nranks_));
   outstanding_.resize(static_cast<std::size_t>(nranks_));
+  put_pushes_.resize(static_cast<std::size_t>(nranks_), 0);
 }
 
 void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
@@ -61,6 +62,9 @@ void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
       pp2.chk_data = h.data;
     }
     pending_[static_cast<std::size_t>(target)].push_back(std::move(pp2));
+    // Advance the target's put-arrival gate counter: a rank parked in
+    // wait_any_unapplied is only re-evaluated when this moves.
+    ++put_pushes_[static_cast<std::size_t>(target)];
 
     outstanding_[static_cast<std::size_t>(c.rank())].push_back(
         Outstanding{target, arrival, res.inject_free_us});
@@ -194,6 +198,11 @@ void Win::sync(Comm& c) {
 void Win::wait_any_unapplied(Comm& c) {
   auto& eng = world_->engine_;
   auto& pend = pending_[static_cast<std::size_t>(c.rank())];
+  // Gated on my put-arrival counter (DESIGN.md §12): while I am blocked here
+  // pending_ can only grow (fence is collective, so nobody else drains it),
+  // and every growth bumps the counter — the condition is satisfiable
+  // exactly once the counter moves.
+  const std::uint64_t& ctr = put_pushes_[static_cast<std::size_t>(c.rank())];
   eng.wait(
       c.rank_ctx(), "win.wait_any_unapplied",
       [&]() -> std::optional<double> {
@@ -202,7 +211,8 @@ void Win::wait_any_unapplied(Comm& c) {
         for (const PendingPut& p : pend) first = std::min(first, p.arrival);
         return first;
       },
-      [&] { apply_pending_locked(c.rank(), c.now()); });
+      [&] { apply_pending_locked(c.rank(), c.now()); },
+      runtime::WaitGate{&ctr, ctr + 1});
 }
 
 std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,

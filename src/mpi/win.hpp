@@ -127,6 +127,10 @@ class Win {
   std::vector<Region> region_;
   std::vector<std::vector<PendingPut>> pending_;      // per target rank
   std::vector<std::vector<Outstanding>> outstanding_; // per origin rank
+  /// Total puts ever pushed toward each target — the WaitGate counter for
+  /// wait_any_unapplied (DESIGN.md §12). Sized once, so entries have stable
+  /// addresses for the lifetime of the window.
+  std::vector<std::uint64_t> put_pushes_;
   std::uint64_t put_seq_ = 0;
 
   // Fence rendezvous.

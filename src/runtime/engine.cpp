@@ -13,6 +13,7 @@ std::atomic<EngineBackend> g_default_backend{EngineBackend::kFibers};
 std::atomic<SchedulerKind> g_default_scheduler{SchedulerKind::kIndexedHeap};
 std::atomic<double> g_default_watchdog_virtual_us{1e9};
 std::atomic<std::size_t> g_default_fiber_stack_bytes{256 * 1024};
+std::atomic<bool> g_default_stack_pool{true};
 
 }  // namespace
 
@@ -60,6 +61,14 @@ void set_default_fiber_stack_bytes(std::size_t bytes) {
   g_default_fiber_stack_bytes.store(bytes, std::memory_order_relaxed);
 }
 
+bool default_stack_pool() {
+  return g_default_stack_pool.load(std::memory_order_relaxed);
+}
+
+void set_default_stack_pool(bool on) {
+  g_default_stack_pool.store(on, std::memory_order_relaxed);
+}
+
 Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
     : platform_(std::move(platform)), nranks_(nranks), opt_(opt) {
   MRL_CHECK(nranks_ >= 1);
@@ -73,7 +82,8 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
   metrics_.set_enabled(opt_.metrics);
   checker_.set_enabled(opt_.check);
   checker_.set_history_limit(opt_.check_history);
-  ranks_.reserve(static_cast<std::size_t>(nranks_));
+  const auto n = static_cast<std::size_t>(nranks_);
+  ranks_.reserve(n);
   for (int i = 0; i < nranks_; ++i) {
     std::unique_ptr<Rank> r(new Rank());  // ctor is Engine-private
     r->engine_ = this;
@@ -83,17 +93,28 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
     r->compute_scale_ = fabric_->faults().straggler_scale(i);
     ranks_.push_back(std::move(r));
   }
+  rank_clock_.resize(n, 0);
+  rank_wake_.resize(n, 0);
+  rank_state_.resize(n, RankState::kReady);
+  rank_slot_.resize(n, kSlotNone);
+  rank_cond_.resize(n, nullptr);
+  rank_what_.resize(n, "");
 }
 
 Engine::~Engine() {
   {
     std::lock_guard lk(mu_);
     shutdown_ = true;
-    for (auto& r : ranks_) r->cv_.notify_all();
+    notify_all_ranks_locked();
   }
   for (auto& t : threads_) t.join();
   // Fiber-backend contexts park suspended between runs; destroying them just
-  // unmaps their stacks (Fiber::~Fiber).
+  // releases their stacks (Fiber::~Fiber — back to the pool, or munmap).
+}
+
+void Engine::notify_all_ranks_locked() {
+  if (thread_cvs_ == nullptr) return;  // fiber backend: nothing parked on CVs
+  for (int i = 0; i < nranks_; ++i) thread_cvs_[i].notify_all();
 }
 
 RunResult Engine::run(const std::function<void(Rank&)>& body) {
@@ -146,8 +167,8 @@ MetricsReport Engine::metrics_report() const {
   rep.nranks = nranks_;
   if (!metrics_.enabled()) return rep;
   rep.ranks = metrics_.ranks();
-  for (const auto& r : ranks_) {
-    rep.makespan_us = std::max(rep.makespan_us, r->clock_);
+  for (const simnet::TimeUs c : rank_clock_) {
+    rep.makespan_us = std::max(rep.makespan_us, c);
   }
   const simnet::Topology& topo = fabric_->topology();
   rep.links.reserve(static_cast<std::size_t>(topo.num_links()) * 2);
@@ -196,25 +217,27 @@ void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   } else {
     ready_.reserve(static_cast<std::size_t>(nranks_));
   }
-  for (auto& r : ranks_) {
-    r->clock_ = 0;
-    r->epoch_ = 0;
-    r->state_ = Rank::State::kReady;
-    r->wake_ = 0;
-    r->blocked_pos_ = -1;
-    r->gated_ = false;
-    r->cond_ = nullptr;
-    r->what_ = "";
-    r->last_wait_what_ = nullptr;
-    r->last_wait_t_ = 0;
+  for (int i = 0; i < nranks_; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    Rank& r = *ranks_[s];
+    r.epoch_ = 0;
+    r.last_wait_what_ = nullptr;
+    r.last_wait_t_ = 0;
+    rank_clock_[s] = 0;
+    rank_wake_[s] = 0;
+    rank_state_[s] = RankState::kReady;
+    rank_slot_[s] = kSlotNone;
+    rank_cond_[s] = nullptr;
+    rank_what_[s] = "";
     if (heap) {
-      ready_heap_.push(r->id_, r->wake_);
+      ready_heap_.push(i, 0);
     } else {
-      ready_.push_back(r->id_);
+      ready_.push_back(i);
     }
   }
   blocked_count_ = 0;
   gates_.clear();
+  gate_index_.clear();
   gated_count_ = 0;
   granted_ = -1;
   done_count_ = 0;
@@ -228,9 +251,9 @@ void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
 RunResult Engine::collect_result_locked() {
   RunResult res;
   res.rank_end_us.reserve(static_cast<std::size_t>(nranks_));
-  for (const auto& r : ranks_) {
-    res.rank_end_us.push_back(r->clock_);
-    res.makespan_us = std::max(res.makespan_us, r->clock_);
+  for (const simnet::TimeUs c : rank_clock_) {
+    res.rank_end_us.push_back(c);
+    res.makespan_us = std::max(res.makespan_us, c);
   }
   if (!body_error_.empty()) {
     res.status = Status(ErrorCode::kInternal, body_error_);
@@ -240,54 +263,56 @@ RunResult Engine::collect_result_locked() {
   return res;
 }
 
-void Engine::set_state_locked(Rank& r, Rank::State s) {
-  if (r.state_ == s) return;
+void Engine::set_state_locked(int id, RankState s) {
+  const auto i = static_cast<std::size_t>(id);
+  if (rank_state_[i] == s) return;
   const bool heap = opt_.scheduler == SchedulerKind::kIndexedHeap;
-  if (r.state_ == Rank::State::kReady) {
+  if (rank_state_[i] == RankState::kReady) {
     if (heap) {
-      ready_heap_.erase(r.id_);
+      ready_heap_.erase(id);
     } else {
-      const auto it = std::find(ready_.begin(), ready_.end(), r.id_);
+      const auto it = std::find(ready_.begin(), ready_.end(), id);
       MRL_CHECK(it != ready_.end());
       *it = ready_.back();
       ready_.pop_back();
     }
-  } else if (r.state_ == Rank::State::kBlocked) {
+  } else if (rank_state_[i] == RankState::kBlocked) {
     --blocked_count_;
-    if (r.gated_) {
+    if (rank_slot_[i] == kSlotGated) {
       // Parked in a gate channel, not in blocked_. The channel entry is
       // popped by wake_gated_locked (or skipped as stale on abort unwind).
-      r.gated_ = false;
+      rank_slot_[i] = kSlotNone;
       --gated_count_;
     } else if (heap) {
       // Swap-remove from the blocked-rank index via the position slot.
-      const int p = r.blocked_pos_;
-      MRL_CHECK(p >= 0 && blocked_[static_cast<std::size_t>(p)] == r.id_);
+      const std::int32_t p = rank_slot_[i];
+      MRL_CHECK(p >= 0 && blocked_[static_cast<std::size_t>(p)] == id);
       const int last = blocked_.back();
       blocked_[static_cast<std::size_t>(p)] = last;
-      ranks_[static_cast<std::size_t>(last)]->blocked_pos_ = p;
+      rank_slot_[static_cast<std::size_t>(last)] = p;
       blocked_.pop_back();
-      r.blocked_pos_ = -1;
+      rank_slot_[i] = kSlotNone;
     }
   }
-  r.state_ = s;
-  if (s == Rank::State::kReady) {
-    // wake_ is always finalized before a rank is (re)queued, so the heap key
-    // never changes while the rank sits in the heap.
+  rank_state_[i] = s;
+  if (s == RankState::kReady) {
+    // rank_wake_ is always finalized before a rank is (re)queued, so the
+    // heap key never changes while the rank sits in the heap.
     if (heap) {
-      ready_heap_.push(r.id_, r.wake_);
+      ready_heap_.push(id, rank_wake_[i]);
     } else {
-      ready_.push_back(r.id_);
+      ready_.push_back(id);
     }
-  } else if (s == Rank::State::kBlocked) {
+  } else if (s == RankState::kBlocked) {
     ++blocked_count_;
-    if (r.gated_) {
-      // Caller set gated_ and registered the (threshold, id) channel entry;
-      // the rank stays out of blocked_ so generic re-evaluation skips it.
+    if (rank_slot_[i] == kSlotGated) {
+      // Caller set the gate slot and registered the (threshold, id) channel
+      // entry; the rank stays out of blocked_ so generic re-evaluation
+      // skips it.
       ++gated_count_;
     } else if (heap) {
-      r.blocked_pos_ = static_cast<int>(blocked_.size());
-      blocked_.push_back(r.id_);
+      rank_slot_[i] = static_cast<std::int32_t>(blocked_.size());
+      blocked_.push_back(id);
     }
   }
 }
@@ -304,11 +329,10 @@ int Engine::pick_min_ready_locked() const {
   int best = -1;
   simnet::TimeUs best_wake = 0;
   for (const int id : ready_) {
-    const Rank& r = *ranks_[static_cast<std::size_t>(id)];
-    if (best == -1 || r.wake_ < best_wake ||
-        (r.wake_ == best_wake && id < best)) {
+    const simnet::TimeUs w = rank_wake_[static_cast<std::size_t>(id)];
+    if (best == -1 || w < best_wake || (w == best_wake && id < best)) {
       best = id;
-      best_wake = r.wake_;
+      best_wake = w;
     }
   }
   return best;
@@ -317,17 +341,19 @@ int Engine::pick_min_ready_locked() const {
 void Engine::note_deadlock_locked() {
   std::ostringstream os;
   os << "deadlock: all live ranks are blocked —";
-  for (const auto& r : ranks_) {
-    if (r->state_ == Rank::State::kBlocked) {
-      os << " rank " << r->id_ << " waiting on [" << r->what_ << "] at t="
-         << r->clock_ << "us;";
-    } else if (r->state_ == Rank::State::kDone) {
+  for (int i = 0; i < nranks_; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    if (rank_state_[s] == RankState::kBlocked) {
+      os << " rank " << i << " waiting on [" << rank_what_[s] << "] at t="
+         << rank_clock_[s] << "us;";
+    } else if (rank_state_[s] == RankState::kDone) {
       // Finished ranks are often the cause (e.g. a rank that skipped a
       // collective): say what they last blocked on before exiting.
-      os << " rank " << r->id_ << " done at t=" << r->clock_ << "us";
-      if (r->last_wait_what_ != nullptr) {
-        os << " (last blocked on [" << r->last_wait_what_ << "] at t="
-           << r->last_wait_t_ << "us)";
+      const Rank& r = *ranks_[s];
+      os << " rank " << i << " done at t=" << rank_clock_[s] << "us";
+      if (r.last_wait_what_ != nullptr) {
+        os << " (last blocked on [" << r.last_wait_what_ << "] at t="
+           << r.last_wait_t_ << "us)";
       }
       os << ";";
     }
@@ -366,11 +392,12 @@ void Engine::wake_satisfied_locked() {
     // Walk only actual waiters. A wake swap-removes blocked_[i], so the
     // index advances only past ranks that stayed blocked.
     for (std::size_t i = 0; i < blocked_.size();) {
-      Rank& r = *ranks_[static_cast<std::size_t>(blocked_[i])];
-      MRL_CHECK(r.cond_ != nullptr);
-      if (auto w = (*r.cond_)()) {
-        r.wake_ = std::max(r.clock_, *w);
-        set_state_locked(r, Rank::State::kReady);
+      const int id = blocked_[i];
+      const auto s = static_cast<std::size_t>(id);
+      MRL_CHECK(rank_cond_[s] != nullptr);
+      if (auto w = (*rank_cond_[s])()) {
+        rank_wake_[s] = std::max(rank_clock_[s], *w);
+        set_state_locked(id, RankState::kReady);
       } else {
         ++i;
       }
@@ -378,56 +405,71 @@ void Engine::wake_satisfied_locked() {
     return;
   }
   int remaining = blocked_count_;
-  for (auto& r : ranks_) {
-    if (remaining == 0) break;
-    if (r->state_ != Rank::State::kBlocked) continue;
+  for (int id = 0; id < nranks_ && remaining != 0; ++id) {
+    const auto s = static_cast<std::size_t>(id);
+    if (rank_state_[s] != RankState::kBlocked) continue;
     --remaining;
-    MRL_CHECK(r->cond_ != nullptr);
-    if (auto w = (*r->cond_)()) {
-      r->wake_ = std::max(r->clock_, *w);
-      set_state_locked(*r, Rank::State::kReady);
+    MRL_CHECK(rank_cond_[s] != nullptr);
+    if (auto w = (*rank_cond_[s])()) {
+      rank_wake_[s] = std::max(rank_clock_[s], *w);
+      set_state_locked(id, RankState::kReady);
     }
   }
 }
 
-void Engine::register_gated_waiter_locked(Rank& r, WaitGate gate) {
-  for (GateChannel& ch : gates_) {
-    if (ch.counter == gate.counter) {
-      ch.waiters.emplace(gate.threshold, r.id_);
-      return;
-    }
+void Engine::register_gated_waiter_locked(int id, WaitGate gate) {
+  const auto [it, inserted] = gate_index_.try_emplace(gate.counter, 0);
+  if (inserted) {
+    it->second = gates_.size();
+    GateChannel& ch = gates_.emplace_back();
+    ch.counter = gate.counter;
+    ch.waiters.emplace(gate.threshold, id);
+    return;
   }
-  GateChannel& ch = gates_.emplace_back();
-  ch.counter = gate.counter;
-  ch.waiters.emplace(gate.threshold, r.id_);
+  gates_[it->second].waiters.emplace(gate.threshold, id);
 }
 
 void Engine::wake_gated_locked() {
-  // One raw u64 load per live channel (typically one: the active collective
-  // or fence generation), then pop exactly the waiters whose threshold the
-  // counter has reached. Waiters whose threshold is still ahead are never
-  // visited — this is what keeps a P-rank wave O(P log P) instead of O(P²).
+  // One raw u64 load per live channel, then pop exactly the waiters whose
+  // threshold the counter has reached. Waiters whose threshold is still
+  // ahead are never visited — this is what keeps a P-rank wave O(P log P)
+  // instead of O(P²). Channel visit order never affects results: waking
+  // only pushes into the ready heap, whose (wake, id) order is
+  // insertion-order independent.
   for (std::size_t g = 0; g < gates_.size();) {
     GateChannel& ch = gates_[g];
     while (!ch.waiters.empty() && *ch.counter >= ch.waiters.top().first) {
       const int id = ch.waiters.top().second;
       ch.waiters.pop();
-      Rank& r = *ranks_[static_cast<std::size_t>(id)];
-      // Stale entries (rank already unwound by an abort) are skipped; live
-      // ones must be satisfiable now — that is the WaitGate iff contract.
-      if (r.state_ != Rank::State::kBlocked || !r.gated_) continue;
-      MRL_CHECK(r.cond_ != nullptr);
-      const auto w = (*r.cond_)();
-      MRL_CHECK_MSG(w.has_value(),
-                    "WaitGate contract violated: counter reached the "
-                    "threshold but the wait condition is unsatisfiable");
-      r.wake_ = std::max(r.clock_, *w);
-      set_state_locked(r, Rank::State::kReady);
+      const auto s = static_cast<std::size_t>(id);
+      // Stale entries (rank already unwound by an abort, or re-parked and
+      // woken via a fresher entry) are skipped.
+      if (rank_state_[s] != RankState::kBlocked || rank_slot_[s] != kSlotGated) {
+        continue;
+      }
+      MRL_CHECK(rank_cond_[s] != nullptr);
+      if (const auto w = (*rank_cond_[s])()) {
+        rank_wake_[s] = std::max(rank_clock_[s], *w);
+        set_state_locked(id, RankState::kReady);
+      } else {
+        // Counter crossed but the condition is still unsatisfiable — e.g. a
+        // message arrived on the gated (src,dst) channel with a tag this
+        // receive does not match. Re-park at the counter's next value: the
+        // WaitGate contract says the condition can only become satisfiable
+        // in a perform that advances the counter, so nothing is missed.
+        // (The new threshold exceeds the current counter value, so this
+        // entry is not re-popped by the drain loop above.)
+        ch.waiters.emplace(*ch.counter + 1, id);
+      }
     }
     if (ch.waiters.empty()) {
       // Swap-remove the drained channel so dead counters are not loaded
       // (and cannot dangle) on later passes.
-      if (g + 1 != gates_.size()) gates_[g] = std::move(gates_.back());
+      gate_index_.erase(ch.counter);
+      if (g + 1 != gates_.size()) {
+        gates_[g] = std::move(gates_.back());
+        gate_index_[gates_[g].counter] = g;
+      }
       gates_.pop_back();
     } else {
       ++g;
@@ -440,7 +482,8 @@ void Engine::check_abort_locked(const Rank&) const {
 }
 
 void Engine::check_watchdog_locked(const Rank& r) {
-  if (opt_.watchdog_virtual_us <= 0 || r.clock_ < opt_.watchdog_virtual_us) {
+  if (opt_.watchdog_virtual_us <= 0 ||
+      rank_clock_[static_cast<std::size_t>(r.id_)] < opt_.watchdog_virtual_us) {
     return;
   }
   // Livelock: the rank keeps making communication calls but its virtual
@@ -449,22 +492,24 @@ void Engine::check_watchdog_locked(const Rank& r) {
   std::ostringstream os;
   os << "progress watchdog: rank " << r.id_ << " passed the virtual-time "
      << "limit (" << opt_.watchdog_virtual_us << "us) —";
-  for (const auto& other : ranks_) {
-    os << " rank " << other->id_ << " at t=" << other->clock_ << "us";
-    switch (other->state_) {
-      case Rank::State::kBlocked:
-        os << " [blocked on " << other->what_ << "]";
+  for (int i = 0; i < nranks_; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    os << " rank " << i << " at t=" << rank_clock_[s] << "us";
+    switch (rank_state_[s]) {
+      case RankState::kBlocked:
+        os << " [blocked on " << rank_what_[s] << "]";
         break;
-      case Rank::State::kDone: os << " [done]"; break;
+      case RankState::kDone: os << " [done]"; break;
       default: os << " [runnable]"; break;
     }
     // The last blocking op a runnable-or-done rank entered is usually the
     // protocol step the stuck party is spinning against (e.g. a CAS retry
     // storm): name it and its virtual time.
-    if (other->state_ != Rank::State::kBlocked &&
-        other->last_wait_what_ != nullptr) {
-      os << " (last blocked on [" << other->last_wait_what_ << "] at t="
-         << other->last_wait_t_ << "us)";
+    const Rank& other = *ranks_[s];
+    if (rank_state_[s] != RankState::kBlocked &&
+        other.last_wait_what_ != nullptr) {
+      os << " (last blocked on [" << other.last_wait_what_ << "] at t="
+         << other.last_wait_t_ << "us)";
     }
     os << ";";
   }
@@ -473,7 +518,7 @@ void Engine::check_watchdog_locked(const Rank& r) {
   abort_code_ = ErrorCode::kTimeout;
   abort_reason_ = os.str();
   MRL_LOG_ERROR("%s", abort_reason_.c_str());
-  for (auto& other : ranks_) other->cv_.notify_all();  // thread backend
+  notify_all_ranks_locked();  // thread backend
   throw AbortException{};
 }
 
@@ -485,7 +530,7 @@ void Engine::abort_run(Rank&, ErrorCode code, std::string reason) {
   abort_code_ = code;
   abort_reason_ = std::move(reason);
   MRL_LOG_ERROR("%s", abort_reason_.c_str());
-  for (auto& other : ranks_) other->cv_.notify_all();  // thread backend
+  notify_all_ranks_locked();  // thread backend
   throw AbortException{};
 }
 
@@ -504,11 +549,11 @@ void Engine::perform(Rank& r, const std::function<void()>& fn) {
 void Engine::wait(Rank& r, const char* what,
                   const std::function<std::optional<double>()>& cond,
                   const std::function<void()>& finalize, WaitGate gate) {
-  // Blocked duration is measured in virtual time (r.clock_), so it is
+  // Blocked duration is measured in virtual time (the rank clock), so it is
   // identical across backends and job counts by construction.
-  const simnet::TimeUs t0 = r.clock_;
+  const simnet::TimeUs t0 = rank_clock_[static_cast<std::size_t>(r.id_)];
   r.last_wait_what_ = what;
-  r.last_wait_t_ = r.clock_;
+  r.last_wait_t_ = t0;
   // The linear-scan scheduler ignores gates: it brute-force re-evaluates
   // every blocked condition, which is exactly the oracle the cross-scheduler
   // identity tests compare the gated path against.
@@ -518,7 +563,8 @@ void Engine::wait(Rank& r, const char* what,
   } else {
     thread_wait(r, what, cond, finalize, gate);
   }
-  metrics_.on_wait(r.id_, r.clock_ - t0);
+  metrics_.on_wait(r.id_,
+                   rank_clock_[static_cast<std::size_t>(r.id_)] - t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -531,13 +577,17 @@ RunResult Engine::run_threads(const std::function<void(Rank&)>& body) {
   ++run_gen_;
 
   if (threads_.empty()) {
-    // Lazy persistent pool: spawned once, parked between runs.
+    // Lazy persistent pool: spawned once, parked between runs. Per-rank
+    // condvars are allocated here — only thread-backend engines pay for
+    // them.
+    thread_cvs_ = std::make_unique<std::condition_variable[]>(
+        static_cast<std::size_t>(nranks_));
     threads_.reserve(static_cast<std::size_t>(nranks_));
     for (int i = 0; i < nranks_; ++i) {
       threads_.emplace_back([this, i] { worker_main(i); });
     }
   } else {
-    for (auto& r : ranks_) r->cv_.notify_one();  // new generation
+    for (int i = 0; i < nranks_; ++i) thread_cvs_[i].notify_one();  // new gen
   }
   schedule_locked();  // grant the first baton
   while (done_count_ != nranks_) run_cv_.wait(lk);
@@ -546,11 +596,11 @@ RunResult Engine::run_threads(const std::function<void(Rank&)>& body) {
 }
 
 void Engine::worker_main(int id) {
-  Rank& r = *ranks_[static_cast<std::size_t>(id)];
+  std::condition_variable& cv = thread_cvs_[static_cast<std::size_t>(id)];
   std::uint64_t seen_gen = 0;
   std::unique_lock lk(mu_);
   for (;;) {
-    while (!shutdown_ && run_gen_ == seen_gen) r.cv_.wait(lk);
+    while (!shutdown_ && run_gen_ == seen_gen) cv.wait(lk);
     if (shutdown_) return;
     seen_gen = run_gen_;
     lk.unlock();
@@ -561,16 +611,17 @@ void Engine::worker_main(int id) {
 
 void Engine::rank_main(int id) {
   Rank& r = *ranks_[static_cast<std::size_t>(id)];
+  std::condition_variable& cv = thread_cvs_[static_cast<std::size_t>(id)];
   {
     std::unique_lock lk(mu_);
-    while (granted_ != id && !abort_) r.cv_.wait(lk);
+    while (granted_ != id && !abort_) cv.wait(lk);
     if (abort_) {
-      set_state_locked(r, Rank::State::kDone);
+      set_state_locked(id, RankState::kDone);
       ++done_count_;
       if (done_count_ == nranks_) run_cv_.notify_all();
       return;
     }
-    set_state_locked(r, Rank::State::kRunning);
+    set_state_locked(id, RankState::kRunning);
   }
   try {
     (*body_)(r);
@@ -585,10 +636,10 @@ void Engine::rank_main(int id) {
   }
   {
     std::lock_guard lk(mu_);
-    set_state_locked(r, Rank::State::kDone);
+    set_state_locked(id, RankState::kDone);
     ++done_count_;
     if (abort_) {
-      for (auto& other : ranks_) other->cv_.notify_all();
+      notify_all_ranks_locked();
     }
     if (done_count_ == nranks_) {
       run_cv_.notify_all();
@@ -600,35 +651,38 @@ void Engine::rank_main(int id) {
 
 void Engine::schedule_locked() {
   if (abort_) {
-    for (auto& r : ranks_) r->cv_.notify_all();
+    notify_all_ranks_locked();
     return;
   }
   const int best = pick_min_ready_locked();
   if (best != -1) {
     granted_ = best;
     // Targeted handoff: only the granted rank's thread is woken.
-    ranks_[static_cast<std::size_t>(best)]->cv_.notify_one();
+    thread_cvs_[static_cast<std::size_t>(best)].notify_one();
     return;
   }
   // No runnable rank. If anyone is still blocked, that's a deadlock.
   if (done_count_ < nranks_) {
     note_deadlock_locked();
-    for (auto& r : ranks_) r->cv_.notify_all();
+    notify_all_ranks_locked();
   }
 }
 
 void Engine::thread_perform(Rank& r, const std::function<void()>& fn) {
+  const int id = r.id_;
+  const auto s = static_cast<std::size_t>(id);
+  std::condition_variable& cv = thread_cvs_[s];
   std::unique_lock lk(mu_);
   check_abort_locked(r);
   check_watchdog_locked(r);
-  r.wake_ = r.clock_;
-  set_state_locked(r, Rank::State::kReady);
+  rank_wake_[s] = rank_clock_[s];
+  set_state_locked(id, RankState::kReady);
   schedule_locked();
-  while (granted_ != r.id_ && !abort_) {
-    r.cv_.wait(lk);
+  while (granted_ != id && !abort_) {
+    cv.wait(lk);
   }
   check_abort_locked(r);
-  set_state_locked(r, Rank::State::kRunning);
+  set_state_locked(id, RankState::kRunning);
   fn();
   wake_satisfied_locked();
 }
@@ -637,6 +691,9 @@ void Engine::thread_wait(Rank& r, const char* what,
                          const std::function<std::optional<double>()>& cond,
                          const std::function<void()>& finalize,
                          WaitGate gate) {
+  const int id = r.id_;
+  const auto s = static_cast<std::size_t>(id);
+  std::condition_variable& cv = thread_cvs_[s];
   std::unique_lock lk(mu_);
   check_abort_locked(r);
   check_watchdog_locked(r);
@@ -649,41 +706,41 @@ void Engine::thread_wait(Rank& r, const char* what,
     if (auto w = cond()) {
       // Satisfiable: schedule at the wake time, re-evaluate once granted so
       // an earlier-arriving candidate delivered meanwhile wins.
-      r.wake_ = std::max(r.clock_, *w);
-      set_state_locked(r, Rank::State::kReady);
+      rank_wake_[s] = std::max(rank_clock_[s], *w);
+      set_state_locked(id, RankState::kReady);
       if (holding) schedule_locked();
-      while (granted_ != r.id_ && !abort_) {
-        r.cv_.wait(lk);
+      while (granted_ != id && !abort_) {
+        cv.wait(lk);
       }
       check_abort_locked(r);
-      set_state_locked(r, Rank::State::kRunning);
+      set_state_locked(id, RankState::kRunning);
       auto w2 = cond();
       MRL_CHECK_MSG(w2.has_value(),
                     "wait condition became unsatisfiable (must be monotonic)");
-      r.clock_ = std::max(r.clock_, *w2);
+      rank_clock_[s] = std::max(rank_clock_[s], *w2);
       if (finalize) {
         finalize();
         wake_satisfied_locked();
       }
       return;
     }
-    r.cond_ = &cond;
-    r.what_ = what;
+    rank_cond_[s] = &cond;
+    rank_what_[s] = what;
     if (gate.counter != nullptr) {
-      r.gated_ = true;
-      register_gated_waiter_locked(r, gate);
+      rank_slot_[s] = kSlotGated;
+      register_gated_waiter_locked(id, gate);
     }
-    set_state_locked(r, Rank::State::kBlocked);
+    set_state_locked(id, RankState::kBlocked);
     if (holding) {
       // May detect a deadlock and set abort_ synchronously.
       schedule_locked();
       holding = false;
     }
-    while (r.state_ == Rank::State::kBlocked && !abort_) {
-      r.cv_.wait(lk);
+    while (rank_state_[s] == RankState::kBlocked && !abort_) {
+      cv.wait(lk);
     }
     check_abort_locked(r);
-    r.cond_ = nullptr;
+    rank_cond_[s] = nullptr;
     // Re-queued as kReady with a wake hint (and possibly already granted);
     // the loop re-evaluates cond and goes through the satisfiable path.
   }
@@ -709,12 +766,19 @@ RunResult Engine::run_fibers(const std::function<void(Rank&)>& body) {
     // Guarded stacks cost two kernel VMAs each and vm.max_map_count caps a
     // process at ~65k mappings; past that, skip the guard pages and rely on
     // the stack HWM sentinel (poison_stack) to audit headroom instead.
-    const bool guard = nranks_ <= 16384;
+    // Pooled stacks amortize further: one slab VMA hosts many slots
+    // (DESIGN.md §12).
+    const bool guard = !opt_.stack_pool && nranks_ <= 16384;
     for (int i = 0; i < nranks_; ++i) {
       fiber_start_[static_cast<std::size_t>(i)] = FiberStart{this, i};
       auto f = std::make_unique<Fiber>();
-      f->create(opt_.fiber_stack_bytes, &Engine::fiber_entry,
-                &fiber_start_[static_cast<std::size_t>(i)], guard);
+      if (opt_.stack_pool) {
+        f->create_pooled(opt_.fiber_stack_bytes, &Engine::fiber_entry,
+                         &fiber_start_[static_cast<std::size_t>(i)]);
+      } else {
+        f->create(opt_.fiber_stack_bytes, &Engine::fiber_entry,
+                  &fiber_start_[static_cast<std::size_t>(i)], guard);
+      }
       // Poisoning commits the stack pages, so only pay for it when the
       // metrics report will actually read the high-water marks.
       if (opt_.metrics) f->poison_stack();
@@ -730,8 +794,7 @@ RunResult Engine::run_fibers(const std::function<void(Rank&)>& body) {
     // destructors). Resume each one so it observes abort_, throws
     // AbortException, unwinds cleanly, and parks as kDone.
     for (int i = 0; i < nranks_; ++i) {
-      Rank& r = *ranks_[static_cast<std::size_t>(i)];
-      while (r.state_ != Rank::State::kDone) {
+      while (rank_state_[static_cast<std::size_t>(i)] != RankState::kDone) {
         granted_ = i;
         Fiber::switch_to(main_fiber_, *fibers_[static_cast<std::size_t>(i)]);
       }
@@ -753,7 +816,7 @@ void Engine::fiber_worker(int id) {
     // Granted: either the first grant of a fresh run, or an abort-unwind
     // resume for a rank whose body never started this run.
     if (!abort_) {
-      set_state_locked(r, Rank::State::kRunning);
+      set_state_locked(id, RankState::kRunning);
       try {
         (*body_)(r);
       } catch (const AbortException&) {
@@ -764,7 +827,7 @@ void Engine::fiber_worker(int id) {
         note_body_error_locked(id, nullptr);
       }
     }
-    set_state_locked(r, Rank::State::kDone);
+    set_state_locked(id, RankState::kDone);
     ++done_count_;
     fiber_exit_run(r);
   }
@@ -815,12 +878,13 @@ void Engine::fiber_yield(Rank& r) {
 }
 
 void Engine::fiber_perform(Rank& r, const std::function<void()>& fn) {
+  const auto s = static_cast<std::size_t>(r.id_);
   check_abort_locked(r);
   check_watchdog_locked(r);
-  r.wake_ = r.clock_;
-  set_state_locked(r, Rank::State::kReady);
+  rank_wake_[s] = rank_clock_[s];
+  set_state_locked(r.id_, RankState::kReady);
   fiber_yield(r);
-  set_state_locked(r, Rank::State::kRunning);
+  set_state_locked(r.id_, RankState::kRunning);
   fn();
   wake_satisfied_locked();
 }
@@ -828,6 +892,8 @@ void Engine::fiber_perform(Rank& r, const std::function<void()>& fn) {
 void Engine::fiber_wait(Rank& r, const char* what,
                         const std::function<std::optional<double>()>& cond,
                         const std::function<void()>& finalize, WaitGate gate) {
+  const int id = r.id_;
+  const auto s = static_cast<std::size_t>(id);
   check_abort_locked(r);
   check_watchdog_locked(r);
   // Mirrors thread_wait exactly, including the `holding` rule: once this
@@ -838,34 +904,34 @@ void Engine::fiber_wait(Rank& r, const char* what,
   bool holding = true;
   for (;;) {
     if (auto w = cond()) {
-      r.wake_ = std::max(r.clock_, *w);
-      set_state_locked(r, Rank::State::kReady);
+      rank_wake_[s] = std::max(rank_clock_[s], *w);
+      set_state_locked(id, RankState::kReady);
       if (holding) fiber_yield(r);
-      MRL_CHECK(granted_ == r.id_);
-      set_state_locked(r, Rank::State::kRunning);
+      MRL_CHECK(granted_ == id);
+      set_state_locked(id, RankState::kRunning);
       auto w2 = cond();
       MRL_CHECK_MSG(w2.has_value(),
                     "wait condition became unsatisfiable (must be monotonic)");
-      r.clock_ = std::max(r.clock_, *w2);
+      rank_clock_[s] = std::max(rank_clock_[s], *w2);
       if (finalize) {
         finalize();
         wake_satisfied_locked();
       }
       return;
     }
-    r.cond_ = &cond;
-    r.what_ = what;
+    rank_cond_[s] = &cond;
+    rank_what_[s] = what;
     if (gate.counter != nullptr) {
-      r.gated_ = true;
-      register_gated_waiter_locked(r, gate);
+      rank_slot_[s] = kSlotGated;
+      register_gated_waiter_locked(id, gate);
     }
-    set_state_locked(r, Rank::State::kBlocked);
+    set_state_locked(id, RankState::kBlocked);
     // Suspend until granted (wake_satisfied_locked re-queues us when the
     // condition becomes satisfiable; a later yield then picks us). Detects
     // deadlock synchronously if no rank is runnable.
     fiber_yield(r);
     holding = false;
-    r.cond_ = nullptr;
+    rank_cond_[s] = nullptr;
     // Re-evaluate cond via the satisfiable path (monotonic ⇒ it holds now).
   }
 }

@@ -49,12 +49,17 @@
 //   * blocked-condition re-evaluation walks a dedicated blocked-rank index —
 //     only actual waiters are visited, never all ranks — and is skipped
 //     entirely while no rank is blocked;
-//   * collective-style waits carry a WaitGate (a monotone counter +
+//   * collective-style AND p2p waits carry a WaitGate (a monotone counter +
 //     threshold): gated waiters are parked in a per-counter threshold heap
 //     and their conditions are not re-evaluated at all until the counter
 //     reaches the threshold. Without this, a P-rank barrier/fence wave costs
 //     Σ|blocked| ≈ P²/2 condition closures (minutes of wall time at 100k
-//     ranks); with it a wave is O(P log P) (DESIGN.md §10).
+//     ranks); with it a wave is O(P log P) (DESIGN.md §10, §12);
+//   * the scheduler's per-rank hot fields (clock, wake, state, gate slot,
+//     wait condition) live in parallel flat arrays indexed by rank id — a
+//     structure-of-arrays layout — instead of pointer-chased per-rank
+//     objects, so dispatch and wake walks touch a few contiguous cache
+//     lines per rank instead of a heap object each (DESIGN.md §12).
 #pragma once
 
 #include <atomic>
@@ -67,6 +72,7 @@
 #include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -124,19 +130,31 @@ void set_default_watchdog_virtual_us(double us);
 [[nodiscard]] std::size_t default_fiber_stack_bytes();
 void set_default_fiber_stack_bytes(std::size_t bytes);
 
-/// Optional re-evaluation hint for Engine::wait (DESIGN.md §10). `counter`
-/// points at a monotonically nondecreasing std::uint64_t (e.g. a collective
-/// generation) that only changes inside Engine::perform bodies and outlives
-/// the wait. The contract is an iff: the wait condition is unsatisfiable
-/// while `*counter < threshold` and guaranteed satisfiable once
-/// `*counter >= threshold`. Gated waiters skip per-perform condition
-/// re-evaluation entirely — the engine parks them in a per-counter threshold
-/// heap and only evaluates the condition when the counter crosses the
-/// threshold, turning O(P²) collective waves into O(P log P). A
-/// default-constructed gate (null counter) means "no hint": the condition is
-/// re-evaluated after every perform, as always. The linear-scan scheduler
-/// ignores gates, preserving the legacy brute-force behaviour as a
-/// differential-testing oracle.
+/// Process-wide default for EngineOptions::stack_pool (initially true).
+/// When on, fiber stacks are carved from pooled slabs (runtime/fiber.hpp:
+/// StackPool — one mmap per slab instead of per fiber); `--stack-pool 0`
+/// restores mmap-per-fiber with optional guard pages.
+[[nodiscard]] bool default_stack_pool();
+void set_default_stack_pool(bool on);
+
+/// Optional re-evaluation hint for Engine::wait (DESIGN.md §10, §12).
+/// `counter` points at a monotonically nondecreasing std::uint64_t (e.g. a
+/// collective generation, or a per-(src,dst) message sequence number) that
+/// only changes inside Engine::perform bodies and outlives the wait. The
+/// contract: the wait condition is unsatisfiable while
+/// `*counter < threshold`, and the condition can only BECOME satisfiable in
+/// a perform that also advances the counter. Gated waiters skip per-perform
+/// condition re-evaluation entirely — the engine parks them in a per-counter
+/// threshold heap and only evaluates the condition when the counter crosses
+/// the threshold, turning O(P²) collective/recv waves into O(P log P). If
+/// the condition is still unsatisfiable at the crossing (e.g. a message
+/// arrived on the gated channel but with a non-matching tag), the waiter is
+/// re-parked at the counter's current value + 1 — the next advance re-tests
+/// it. Collective generations satisfy the stricter "satisfiable at
+/// threshold" property and never re-park. A default-constructed gate (null
+/// counter) means "no hint": the condition is re-evaluated after every
+/// perform, as always. The linear-scan scheduler ignores gates, preserving
+/// the legacy brute-force behaviour as a differential-testing oracle.
 struct WaitGate {
   const std::uint64_t* counter = nullptr;
   std::uint64_t threshold = 0;
@@ -144,18 +162,22 @@ struct WaitGate {
 
 /// Per-rank execution context. Handed by reference to the rank body; valid
 /// only for the duration of Engine::run().
+///
+/// Rank itself carries only the cold, mostly-immutable identity fields; the
+/// scheduler-hot mutable state (clock, wake, run state, gate slot, wait
+/// condition) lives in the Engine's SoA arrays indexed by id() — now() and
+/// advance() are inline delegates (defined after Engine). This keeps a
+/// million Rank objects at ~56 B each and keeps the dispatch working set in
+/// flat arrays.
 class Rank {
  public:
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] int size() const { return size_; }
-  [[nodiscard]] simnet::TimeUs now() const { return clock_; }
+  [[nodiscard]] simnet::TimeUs now() const;
 
   /// Charges local compute time (the only way user code consumes virtual
   /// time outside communication).
-  void advance(double dt_us) {
-    MRL_CHECK(dt_us >= 0.0);
-    clock_ += dt_us;
-  }
+  void advance(double dt_us);
 
   /// Endpoint hosting this rank on the platform topology.
   [[nodiscard]] int endpoint() const { return endpoint_; }
@@ -185,23 +207,13 @@ class Rank {
   int id_ = -1;
   int size_ = 0;
   int endpoint_ = -1;
-  simnet::TimeUs clock_ = 0;
   std::uint64_t epoch_ = 0;
   double compute_scale_ = 1.0;
-
-  enum class State { kReady, kRunning, kBlocked, kDone };
-  State state_ = State::kReady;
-  simnet::TimeUs wake_ = 0;  ///< scheduling priority while kReady
-  int blocked_pos_ = -1;     ///< slot in Engine::blocked_ while kBlocked
-  bool gated_ = false;       ///< kBlocked via a WaitGate (parked in gates_)
-  const std::function<std::optional<double>()>* cond_ = nullptr;
-  const char* what_ = "";  ///< wait description for deadlock reports
   /// Last blocking wait this rank entered (and when, in virtual time) —
   /// survives the wait itself, so watchdog/deadlock reports can say what a
   /// stuck-or-finished rank last blocked on, not just who is blocked now.
   const char* last_wait_what_ = nullptr;
   simnet::TimeUs last_wait_t_ = 0;
-  std::condition_variable cv_;  ///< thread backend only
 };
 
 struct EngineOptions {
@@ -225,6 +237,11 @@ struct EngineOptions {
   /// ranks are cheap; raise this for rank bodies with deep call chains or
   /// large stack frames.
   std::size_t fiber_stack_bytes = default_fiber_stack_bytes();
+  /// Carve fiber stacks out of a pooled slab (one big mmap, recycled slots)
+  /// instead of one mmap per fiber (DESIGN.md §12). Defaults to the
+  /// process-wide default (on); mmap-per-fiber remains selectable for the
+  /// guard-paged debugging configuration and the abl ablation.
+  bool stack_pool = default_stack_pool();
   /// Collect deterministic per-rank/per-link metrics (DESIGN.md §9) and, on
   /// the fiber backend, per-fiber stack high-water-marks. Disabled metrics
   /// cost one branch per hook and change no simulated time either way.
@@ -321,24 +338,33 @@ class Engine {
   [[noreturn]] void abort_run(Rank& r, ErrorCode code, std::string reason);
 
  private:
+  friend class Rank;
+
   struct AbortException {};
   struct FiberStart {
     Engine* engine = nullptr;
     int id = -1;
   };
 
+  enum class RankState : std::uint8_t { kReady, kRunning, kBlocked, kDone };
+
+  /// rank_slot_ sentinel values (>= 0 is a position in blocked_).
+  static constexpr std::int32_t kSlotNone = -1;
+  static constexpr std::int32_t kSlotGated = -2;
+
   // Shared scheduler state machine (naturally serialized on the fiber
   // backend; guarded by mu_ on the thread backend — the _locked suffix
   // refers to that contract).
   void reset_run_state_locked(const std::function<void(Rank&)>& body);
   RunResult collect_result_locked();
-  void set_state_locked(Rank& r, Rank::State s);
+  void set_state_locked(int id, RankState s);
   [[nodiscard]] int pick_min_ready_locked() const;
   void note_deadlock_locked();
   void note_body_error_locked(int id, const char* what);
   void wake_satisfied_locked();
   void check_abort_locked(const Rank& r) const;
   void check_watchdog_locked(const Rank& r);
+  void notify_all_ranks_locked();
 
   // Thread backend.
   RunResult run_threads(const std::function<void(Rank&)>& body);
@@ -362,8 +388,10 @@ class Engine {
                   const std::function<void()>& finalize, WaitGate gate);
 
   // WaitGate registration (kIndexedHeap only; the linear scan ignores
-  // gates). One channel per distinct counter pointer with live waiters.
-  void register_gated_waiter_locked(Rank& r, WaitGate gate);
+  // gates). One channel per distinct counter pointer with live waiters;
+  // gate_index_ maps counter pointer -> gates_ slot so registration is O(1)
+  // even when thousands of p2p channels are gated at once.
+  void register_gated_waiter_locked(int id, WaitGate gate);
   void wake_gated_locked();
 
   simnet::Platform platform_;
@@ -375,15 +403,29 @@ class Engine {
   check::Checker checker_;
 
   std::mutex mu_;
-  std::vector<std::unique_ptr<Rank>> ranks_;  // created once, reset per run
+  std::vector<std::unique_ptr<Rank>> ranks_;  // cold identity, reset per run
+
+  // SoA rank hot fields, indexed by rank id (DESIGN.md §12). Exactly the
+  // state the scheduler reads in its dispatch/wake loops; sized once at
+  // construction, reset per run.
+  std::vector<simnet::TimeUs> rank_clock_;
+  std::vector<simnet::TimeUs> rank_wake_;  ///< scheduling priority while kReady
+  std::vector<RankState> rank_state_;
+  /// kBlocked bookkeeping: >= 0 is this rank's slot in blocked_, kSlotGated
+  /// means parked in a gate channel (NOT in blocked_), kSlotNone otherwise.
+  std::vector<std::int32_t> rank_slot_;
+  std::vector<const std::function<std::optional<double>()>*> rank_cond_;
+  std::vector<const char*> rank_what_;  ///< wait label for deadlock reports
 
   /// run() in progress (reentrancy guard; atomic so a concurrent run()
   /// attempt from another thread is also rejected instead of racing).
   std::atomic<bool> running_{false};
 
   // Persistent thread-backend worker pool (lazily spawned by the first
-  // thread-backend run()).
+  // thread-backend run()). Per-rank condvars live here — outside Rank — so
+  // the fiber backend never pays 48 B × ranks for machinery it cannot use.
   std::vector<std::thread> threads_;
+  std::unique_ptr<std::condition_variable[]> thread_cvs_;
   const std::function<void(Rank&)>* body_ = nullptr;
   std::uint64_t run_gen_ = 0;  ///< bumped per run(); workers key off it
   bool shutdown_ = false;
@@ -419,6 +461,7 @@ class Engine {
         waiters;
   };
   std::vector<GateChannel> gates_;
+  std::unordered_map<const std::uint64_t*, std::size_t> gate_index_;
   int gated_count_ = 0;
   int granted_ = -1;
   int done_count_ = 0;
@@ -428,6 +471,15 @@ class Engine {
   std::string body_error_;
   std::condition_variable run_cv_;
 };
+
+inline simnet::TimeUs Rank::now() const {
+  return engine_->rank_clock_[static_cast<std::size_t>(id_)];
+}
+
+inline void Rank::advance(double dt_us) {
+  MRL_CHECK(dt_us >= 0.0);
+  engine_->rank_clock_[static_cast<std::size_t>(id_)] += dt_us;
+}
 
 inline void Rank::bump_epoch() {
   ++epoch_;

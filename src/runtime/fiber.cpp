@@ -4,8 +4,11 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "util/status.hpp"
 
@@ -51,6 +54,7 @@ void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
 void __sanitizer_finish_switch_fiber(void* fake_stack_save,
                                      const void** bottom_old,
                                      std::size_t* size_old);
+void __asan_unpoison_memory_region(const volatile void* addr, std::size_t size);
 }
 #endif
 
@@ -66,6 +70,8 @@ bool fibers_supported() {
 
 namespace {
 
+std::atomic<std::size_t> g_stack_pool_slab_bytes{64 * 1024 * 1024};
+
 // Called first thing on a fiber's stack, for both trampoline flavors:
 // completes the sanitizer's view of the inbound switch.
 inline void finish_first_entry_switch() {
@@ -74,7 +80,119 @@ inline void finish_first_entry_switch() {
 #endif
 }
 
+// ---------------------------------------------------------------------------
+// StackPool: process-wide pooled fiber stacks (DESIGN.md §12).
+//
+// One size class per distinct slot size; each class carves slabs of
+// ~stack_pool_slab_bytes() into equal slots and keeps released slots on a
+// freelist. Slabs are never unmapped: pooled stacks are meant for engines
+// that come and go (sweeps construct thousands), so the pages a run faulted
+// in stay resident for the next engine instead of being returned and
+// re-zeroed by the kernel. A leaked singleton — like MetricsRegistry — so
+// fibers destroyed during static destruction can still release their slots.
+// ---------------------------------------------------------------------------
+
+class StackPool {
+ public:
+  static StackPool& instance() {
+    static StackPool* pool = new StackPool;  // leaked deliberately
+    return *pool;
+  }
+
+  void* acquire(std::size_t slot_bytes) {
+    std::lock_guard lk(mu_);
+    SizeClass& sc = class_for_locked(slot_bytes);
+    if (sc.free.empty()) carve_slab_locked(sc);
+    void* slot = sc.free.back();
+    sc.free.pop_back();
+    return slot;
+  }
+
+  void release(void* slot, std::size_t slot_bytes) {
+#if defined(MRL_FIBER_ASAN)
+    // The dead fiber's parked frames left poisoned redzones in shadow
+    // memory; munmap would have cleared them, the freelist must too, or the
+    // slot's next owner trips over ghost redzones.
+    __asan_unpoison_memory_region(slot, slot_bytes);
+#endif
+    std::lock_guard lk(mu_);
+    class_for_locked(slot_bytes).free.push_back(slot);
+  }
+
+  [[nodiscard]] StackPoolStats stats() {
+    std::lock_guard lk(mu_);
+    StackPoolStats st;
+    st.slabs = slabs_;
+    st.total_slots = total_slots_;
+    for (const SizeClass& sc : classes_) st.free_slots += sc.free.size();
+    return st;
+  }
+
+  void trim() {
+    std::lock_guard lk(mu_);
+    for (SizeClass& sc : classes_) {
+      for (void* slot : sc.free) {
+        // Slot addresses are page-aligned (slabs are page-aligned and slot
+        // sizes are page multiples), so the advice covers exactly this slot.
+        ::madvise(slot, sc.slot_bytes, MADV_DONTNEED);
+      }
+    }
+  }
+
+ private:
+  struct SizeClass {
+    std::size_t slot_bytes = 0;
+    std::vector<void*> free;
+  };
+
+  SizeClass& class_for_locked(std::size_t slot_bytes) {
+    for (SizeClass& sc : classes_) {
+      if (sc.slot_bytes == slot_bytes) return sc;
+    }
+    SizeClass& sc = classes_.emplace_back();
+    sc.slot_bytes = slot_bytes;
+    return sc;
+  }
+
+  void carve_slab_locked(SizeClass& sc) {
+    std::size_t nslots =
+        g_stack_pool_slab_bytes.load(std::memory_order_relaxed) /
+        sc.slot_bytes;
+    if (nslots == 0) nslots = 1;  // slot bigger than the slab target
+    const std::size_t bytes = nslots * sc.slot_bytes;
+    void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    MRL_CHECK_MSG(mem != MAP_FAILED, "stack pool slab mmap failed");
+    ++slabs_;
+    total_slots_ += nslots;
+    // Push in reverse so acquire() hands out ascending addresses — nicer
+    // fault locality when a fresh engine touches every stack top in rank
+    // order.
+    for (std::size_t i = nslots; i-- > 0;) {
+      sc.free.push_back(static_cast<char*>(mem) + i * sc.slot_bytes);
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<SizeClass> classes_;
+  std::size_t slabs_ = 0;
+  std::size_t total_slots_ = 0;
+};
+
 }  // namespace
+
+std::size_t stack_pool_slab_bytes() {
+  return g_stack_pool_slab_bytes.load(std::memory_order_relaxed);
+}
+
+void set_stack_pool_slab_bytes(std::size_t bytes) {
+  MRL_CHECK(bytes > 0);
+  g_stack_pool_slab_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+StackPoolStats stack_pool_stats() { return StackPool::instance().stats(); }
+
+void stack_pool_trim() { StackPool::instance().trim(); }
 
 void Fiber::run_entry_for_trampoline() {
   finish_first_entry_switch();
@@ -92,8 +210,8 @@ void Fiber::run_entry_for_trampoline() {
 //   pushes rbp rbx r12-r15 + the x87/SSE control words onto the current
 //   stack, parks rsp in *save_sp, adopts load_sp, restores the same state
 //   from there and returns on the new stack. A freshly created fiber's
-//   "restore area" is crafted by Fiber::create() so the final ret lands in
-//   mrl_fiber_entry_thunk with r12 = the Fiber*.
+//   "restore area" is crafted by Fiber::init_context() so the final ret
+//   lands in mrl_fiber_entry_thunk with r12 = the Fiber*.
 asm(R"(
 .text
 .align 16
@@ -165,7 +283,13 @@ extern "C" void mrl_fiber_entry_c(void* fiber) {
 // ---------------------------------------------------------------------------
 
 Fiber::~Fiber() {
-  if (stack_mem_ != nullptr) ::munmap(stack_mem_, stack_total_);
+  if (stack_mem_ != nullptr) {
+    if (pooled_) {
+      StackPool::instance().release(stack_mem_, stack_total_);
+    } else {
+      ::munmap(stack_mem_, stack_total_);
+    }
+  }
 #if !defined(MRL_FIBER_ASM)
   delete static_cast<ucontext_t*>(uctx_);
 #endif
@@ -195,7 +319,28 @@ void Fiber::create(std::size_t stack_bytes, void (*entry)(void*), void* arg,
   }
   stack_mem_ = mem;
   stack_total_ = usable + guard_bytes_;
-  char* lo = static_cast<char*>(mem) + guard_bytes_;
+  init_context(static_cast<char*>(mem) + guard_bytes_, usable);
+}
+
+void Fiber::create_pooled(std::size_t stack_bytes, void (*entry)(void*),
+                          void* arg) {
+  MRL_CHECK_MSG(stack_mem_ == nullptr, "fiber already created");
+  MRL_CHECK_MSG(fibers_supported(),
+                "fiber backend is unavailable in this build (TSan)");
+  entry_ = entry;
+  arg_ = arg;
+
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  std::size_t usable = (stack_bytes + page - 1) & ~(page - 1);
+  if (usable < 4 * page) usable = 4 * page;  // floor for the entry frames
+  guard_bytes_ = 0;
+  pooled_ = true;
+  stack_mem_ = StackPool::instance().acquire(usable);
+  stack_total_ = usable;
+  init_context(static_cast<char*>(stack_mem_), usable);
+}
+
+void Fiber::init_context(char* lo, std::size_t usable) {
 #if defined(MRL_FIBER_ASAN)
   asan_bottom_ = lo;
   asan_size_ = usable;
@@ -274,7 +419,8 @@ void Fiber::poison_stack() {
   MRL_CHECK_MSG(stack_mem_ != nullptr, "poison_stack before create");
   char* lo = static_cast<char*>(stack_mem_) + guard_bytes_;
 #if defined(MRL_FIBER_ASM)
-  // Everything below the crafted restore area is virgin stack.
+  // Everything below the crafted restore area is virgin stack (for a pooled
+  // slot: everything the previous tenant may have scribbled).
   const std::size_t fill = static_cast<std::size_t>(
       static_cast<char*>(sp_) - lo);
 #else

@@ -5,15 +5,30 @@
 // x86-64 it is a hand-rolled callee-saved-register swap (tens of
 // nanoseconds, no mutex, no condvar, no kernel involvement — not even the
 // sigprocmask syscall swapcontext() performs); on other architectures it
-// falls back to POSIX swapcontext(). Fiber stacks are mmap'd with a
-// PROT_NONE guard page below the usable region so an overflow faults
-// immediately instead of silently corrupting a neighboring fiber's stack.
+// falls back to POSIX swapcontext().
+//
+// Stack allocation comes in two flavors (DESIGN.md §12):
+//   * create() — one mmap per fiber, optionally with a PROT_NONE guard page
+//     below the usable region so an overflow faults immediately instead of
+//     silently corrupting a neighboring fiber's stack. The guard costs two
+//     kernel VMAs per fiber; Linux caps a process at vm.max_map_count
+//     (~65k) mappings.
+//   * create_pooled() — the stack is a slot carved out of a process-wide
+//     pooled slab (StackPool): one large mmap hosts many equally sized
+//     slots, and destroyed fibers return their slot to a freelist for
+//     reuse. One slab = one VMA regardless of how many fibers it hosts, so
+//     million-fiber engines stay far from the VMA cap and repeated
+//     engine construction recycles already-faulted pages instead of paying
+//     mmap/munmap churn. Pooled slots are unguarded (adjacent slots abut);
+//     the stack high-water-mark sentinel audits headroom instead.
 //
 // Sanitizer support:
 //   * AddressSanitizer — every switch is bracketed with
 //     __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber so
 //     ASan always knows which stack is active (including its fake-stack
-//     when detect_stack_use_after_return is on).
+//     when detect_stack_use_after_return is on). Recycled pool slots are
+//     explicitly unpoisoned on release so a dead fiber's redzones cannot
+//     leak into its successor.
 //   * ThreadSanitizer — TSan cannot follow user-level context switches made
 //     behind its back; fibers_supported() reports false under TSan and the
 //     engine silently falls back to the OS-thread backend (see
@@ -27,6 +42,30 @@ namespace mrl::runtime {
 /// True when the stackful-fiber backend works under the current build
 /// configuration (false under ThreadSanitizer).
 [[nodiscard]] bool fibers_supported();
+
+/// Target bytes per pooled stack slab (process-wide; initially 64 MiB).
+/// Each slab hosts floor(slab_bytes / slot_bytes) slots (at least one).
+/// Takes effect for slabs carved after the call; existing slabs keep their
+/// geometry. CLI flag `--stack-pool-slab-mb` sets it.
+[[nodiscard]] std::size_t stack_pool_slab_bytes();
+void set_stack_pool_slab_bytes(std::size_t bytes);
+
+/// Pool occupancy snapshot, for tests and capacity audits.
+struct StackPoolStats {
+  std::size_t slabs = 0;        ///< mmap'd slabs alive (never unmapped)
+  std::size_t total_slots = 0;  ///< slots carved across all slabs
+  std::size_t free_slots = 0;   ///< slots currently on freelists
+};
+[[nodiscard]] StackPoolStats stack_pool_stats();
+
+/// Returns every free slot's pages to the kernel (madvise MADV_DONTNEED)
+/// without giving up the address space: the slots stay on the freelists and
+/// the slab VMAs stay mapped, but resident memory drops to what live fibers
+/// actually use. Costs the next tenant refaults of zeroed pages, so this is
+/// for measurement hygiene (the perf harness trims between sections so one
+/// section's stacks don't inflate the next section's RSS) and memory-pressure
+/// relief — not for the steady-state sweep path, which wants the reuse.
+void stack_pool_trim();
 
 class Fiber {
  public:
@@ -47,6 +86,11 @@ class Fiber {
   /// the stack high-water-mark sentinel to audit headroom instead.
   void create(std::size_t stack_bytes, void (*entry)(void*), void* arg,
               bool guard = true);
+
+  /// Like create(), but the stack is an unguarded slot from the process-wide
+  /// StackPool (see the header comment). The slot returns to the pool's
+  /// freelist when this Fiber is destroyed.
+  void create_pooled(std::size_t stack_bytes, void (*entry)(void*), void* arg);
 
   /// Marks this Fiber as the calling OS thread's native context so created
   /// fibers can switch back to it. Call before the first switch of every
@@ -78,11 +122,16 @@ class Fiber {
   void run_entry_for_trampoline();
 
  private:
+  /// Shared tail of create()/create_pooled(): primes the switch context on
+  /// the usable region starting at `lo`.
+  void init_context(char* lo, std::size_t usable);
+
   void* sp_ = nullptr;          ///< asm backend: saved stack pointer
   void* uctx_ = nullptr;        ///< ucontext backend: heap ucontext_t
-  void* stack_mem_ = nullptr;   ///< mmap base (guard page + usable stack)
-  std::size_t stack_total_ = 0; ///< total mapped bytes incl. guard page
+  void* stack_mem_ = nullptr;   ///< stack base (guard page + usable stack)
+  std::size_t stack_total_ = 0; ///< total stack bytes incl. guard page
   std::size_t guard_bytes_ = 0; ///< PROT_NONE prefix (0 = unguarded stack)
+  bool pooled_ = false;         ///< stack_mem_ is a StackPool slot
   void (*entry_)(void*) = nullptr;
   void* arg_ = nullptr;
   bool poisoned_ = false;       ///< stack filled with the HWM sentinel

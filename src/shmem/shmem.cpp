@@ -14,6 +14,7 @@ World::World(runtime::Engine& engine, Options opt)
   heap_.resize(static_cast<std::size_t>(npes_));
   for (auto& h : heap_) h.assign(opt_.heap_bytes, std::byte{0});
   pending_.resize(static_cast<std::size_t>(npes_));
+  delivery_pushes_.resize(static_cast<std::size_t>(npes_), 0);
   outstanding_.resize(static_cast<std::size_t>(npes_));
   fifo_last_.reset(npes_);
 }
@@ -150,6 +151,9 @@ void Ctx::put_bytes_nbi(std::uint64_t dest_off, const void* src,
     }
     world_->pending_[static_cast<std::size_t>(target_pe)].push_back(
         std::move(d));
+    // Advance the target's delivery gate counter: a PE parked in a gated
+    // signal wait (wait_local) is only re-evaluated when this moves.
+    ++world_->delivery_pushes_[static_cast<std::size_t>(target_pe)];
     world_->outstanding_[static_cast<std::size_t>(pe())].push_back(
         World::Outstanding{target_pe, arrival, tr.inject_free_us});
     eng.record_msg(simnet::MsgRecord{
@@ -197,6 +201,11 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
 void Ctx::wait_local(const char* what, const std::function<bool()>& pred) {
   auto& eng = world_->engine_;
   auto& pend = world_->pending_[static_cast<std::size_t>(pe())];
+  // Gate counter for this PE's signal waits (DESIGN.md §12): while I am
+  // blocked here pending_ can only grow (barrier_all is collective, nobody
+  // else drains my queue), and every growth bumps the counter.
+  const std::uint64_t& ctr =
+      world_->delivery_pushes_[static_cast<std::size_t>(pe())];
   for (;;) {
     bool ok = false;
     eng.perform(*rank_, [&] {
@@ -217,7 +226,8 @@ void Ctx::wait_local(const char* what, const std::function<bool()>& pred) {
           }
           return first;
         },
-        [&] { world_->apply_locked(pe(), rank_->now()); });
+        [&] { world_->apply_locked(pe(), rank_->now()); },
+        runtime::WaitGate{&ctr, ctr + 1});
   }
 }
 

@@ -102,6 +102,10 @@ class World {
   // the same offset; entries are (bytes, offset).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> alloc_log_;
   std::vector<std::vector<Delivery>> pending_;      // per destination PE
+  /// Total deliveries ever pushed toward each PE — the WaitGate counter for
+  /// signal waits (Ctx::wait_local, DESIGN.md §12). Sized once, so entries
+  /// have stable addresses for the World's lifetime.
+  std::vector<std::uint64_t> delivery_pushes_;
   std::vector<std::vector<Outstanding>> outstanding_;  // per origin PE
   // Keyed (src, dst); sparse above PairMap::kDenseRanks so large worlds
   // don't materialize O(P^2) channel state.

@@ -26,7 +26,7 @@ namespace {
 // counted with a sort+unique over an arena scratch array instead of a
 // node-per-element std::set.
 template <typename Pred>
-TraceSummary summarize_filtered(const std::vector<MsgRecord>& records,
+TraceSummary summarize_filtered(const RecordStore& records,
                                 util::Arena& scratch, Pred pred) {
   TraceSummary s;
   scratch.reset();

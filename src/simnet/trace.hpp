@@ -4,7 +4,11 @@
 // computed from these records.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +54,90 @@ struct TraceSummary {
   std::uint64_t total_drops = 0;  ///< fault-injected drops across messages
 };
 
+/// Chunked append-only record storage. A single doubling vector holding 8M
+/// records (a 1M-rank stencil step) momentarily keeps ~1.5x the trace live
+/// during the realloc and copies hundreds of MB; fixed 64Ki-record chunks
+/// cap the growth spike at one chunk (~3 MiB) and never move old records.
+/// Indexing is two shifts, and clear() keeps the chunks for the next run.
+class RecordStore {
+ public:
+  static constexpr std::size_t kChunkShift = 16;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  RecordStore() = default;
+  RecordStore(RecordStore&&) = default;
+  RecordStore& operator=(RecordStore&&) = default;
+  RecordStore(const RecordStore& o) { *this = o; }
+  RecordStore& operator=(const RecordStore& o) {
+    if (this == &o) return *this;
+    chunks_.clear();
+    chunks_.reserve(o.chunks_.size());
+    for (const auto& c : o.chunks_) {
+      chunks_.push_back(std::make_unique<MsgRecord[]>(kChunkSize));
+      std::copy(c.get(), c.get() + kChunkSize, chunks_.back().get());
+    }
+    size_ = o.size_;
+    return *this;
+  }
+
+  void push_back(const MsgRecord& r) {
+    if ((size_ >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<MsgRecord[]>(kChunkSize));
+    }
+    chunks_[size_ >> kChunkShift][size_ & kChunkMask] = r;
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }  // chunks stay allocated for the next run
+
+  [[nodiscard]] const MsgRecord& operator[](std::size_t i) const {
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = MsgRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const MsgRecord*;
+    using reference = const MsgRecord&;
+
+    const_iterator() = default;
+    const_iterator(const RecordStore* s, std::size_t i) : store_(s), i_(i) {}
+    reference operator*() const { return (*store_)[i_]; }
+    pointer operator->() const { return &(*store_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator t = *this;
+      ++i_;
+      return t;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const RecordStore* store_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size_}; }
+
+ private:
+  std::vector<std::unique_ptr<MsgRecord[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
 /// Append-only trace. The engine serializes all recording, so no locking.
 class Trace {
  public:
@@ -61,9 +149,7 @@ class Trace {
   }
   void clear() { records_.clear(); }
 
-  [[nodiscard]] const std::vector<MsgRecord>& records() const {
-    return records_;
-  }
+  [[nodiscard]] const RecordStore& records() const { return records_; }
 
   [[nodiscard]] TraceSummary summarize() const;
 
@@ -72,7 +158,7 @@ class Trace {
 
  private:
   bool enabled_ = false;
-  std::vector<MsgRecord> records_;
+  RecordStore records_;
   /// Scratch for the (sender, epoch) pairs built while summarizing; reused
   /// across calls instead of allocating a node-based set per summary.
   mutable util::Arena scratch_;

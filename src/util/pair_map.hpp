@@ -9,6 +9,14 @@
 // kDenseRanks and switches to an open-addressing hash table above it, so
 // lookups stay O(1) either way and storage tracks the touched-pair count.
 //
+// Reference stability: at() returns a reference that stays valid until the
+// next reset(). The dense array is sized once per reset, and hash-mode
+// values live in fixed-size chunks that never move when the key table
+// rehashes — only the (key -> chunk index) slots are rebuilt. The engine's
+// WaitGate mechanism relies on this: per-(src,dst) monotone sequence
+// counters stored in a PairMap are registered as gate counters by address
+// and must survive unrelated insertions (DESIGN.md §12).
+//
 // Determinism: the map is only ever accessed by key (never iterated), and
 // every entry is default-constructed on first touch — exactly the dense
 // array's semantics — so the representation cannot influence simulation
@@ -17,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/status.hpp"
@@ -31,28 +40,31 @@ class PairMap {
   static constexpr int kDenseRanks = 2048;
 
   /// (Re)dimensions for an nranks-sized world and drops all entries.
+  /// Invalidates every reference previously returned by at().
   void reset(int nranks) {
     MRL_CHECK(nranks >= 0);
     n_ = nranks;
+    chunks_.clear();
     if (n_ <= kDenseRanks) {
       dense_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
                     V{});
       keys_.clear();
-      vals_.clear();
+      idx_.clear();
       mask_ = 0;
       used_ = 0;
     } else {
       dense_.clear();
       dense_.shrink_to_fit();
       keys_.assign(kInitialSlots, kEmpty);
-      vals_.assign(kInitialSlots, V{});
+      idx_.assign(kInitialSlots, 0);
       mask_ = kInitialSlots - 1;
       used_ = 0;
     }
   }
 
   /// Value for (src, dst), default-constructed on first access. The
-  /// returned reference is invalidated by the next at() call (hash growth).
+  /// returned reference is stable until the next reset(): values never
+  /// move, even when the hash table grows.
   V& at(int src, int dst) {
     MRL_CHECK(src >= 0 && src < n_ && dst >= 0 && dst < n_);
     const std::uint64_t key =
@@ -64,12 +76,21 @@ class PairMap {
     if ((used_ + 1) * 4 > (mask_ + 1) * 3) grow();  // keep load <= 3/4
     std::size_t i = slot_of(key);
     while (keys_[i] != kEmpty) {
-      if (keys_[i] == key) return vals_[i];
+      if (keys_[i] == key) return value_at(idx_[i]);
       i = (i + 1) & mask_;
     }
     keys_[i] = key;
-    ++used_;
-    return vals_[i];
+    const std::size_t vi = used_++;
+    idx_[i] = static_cast<std::uint32_t>(vi);
+    if ((vi >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<V[]>(kChunkSize));
+      // Value chunks are uninitialized storage for non-class V; match the
+      // dense array's default-construction semantics explicitly.
+      for (std::size_t j = 0; j < kChunkSize; ++j) {
+        chunks_.back()[j] = V{};
+      }
+    }
+    return value_at(vi);
   }
 
   /// Touched-pair count (dense mode reports the full matrix size).
@@ -80,6 +101,12 @@ class PairMap {
  private:
   static constexpr std::size_t kInitialSlots = 1024;  // power of two
   static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  static constexpr std::size_t kChunkShift = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  [[nodiscard]] V& value_at(std::size_t vi) {
+    return chunks_[vi >> kChunkShift][vi & (kChunkSize - 1)];
+  }
 
   [[nodiscard]] std::size_t slot_of(std::uint64_t key) const {
     // Fibonacci multiplicative hash: src*n+dst keys are highly regular, and
@@ -88,25 +115,28 @@ class PairMap {
   }
 
   void grow() {
+    // Rehash the key slots only; values stay in their chunks, so references
+    // handed out by at() keep pointing at live storage.
     std::vector<std::uint64_t> old_keys = std::move(keys_);
-    std::vector<V> old_vals = std::move(vals_);
+    std::vector<std::uint32_t> old_idx = std::move(idx_);
     const std::size_t slots = (mask_ + 1) * 2;
     keys_.assign(slots, kEmpty);
-    vals_.assign(slots, V{});
+    idx_.assign(slots, 0);
     mask_ = slots - 1;
     for (std::size_t j = 0; j < old_keys.size(); ++j) {
       if (old_keys[j] == kEmpty) continue;
       std::size_t i = slot_of(old_keys[j]);
       while (keys_[i] != kEmpty) i = (i + 1) & mask_;
       keys_[i] = old_keys[j];
-      vals_[i] = std::move(old_vals[j]);
+      idx_[i] = old_idx[j];
     }
   }
 
   int n_ = 0;
   std::vector<V> dense_;            // non-empty <=> dense mode (or n_ == 0)
   std::vector<std::uint64_t> keys_; // hash mode: kEmpty marks free slots
-  std::vector<V> vals_;
+  std::vector<std::uint32_t> idx_;  // hash mode: slot -> value index
+  std::vector<std::unique_ptr<V[]>> chunks_;  // hash mode: stable value store
   std::size_t mask_ = 0;
   std::size_t used_ = 0;
 };

@@ -654,6 +654,85 @@ TEST(Metrics, CollectivesAndSyncsCounted) {
   }
 }
 
+TEST(P2P, GatedRecvBitIdenticalToLinearScanOracleUnderTagChurn) {
+  // The heap scheduler parks a blocked receiver behind a WaitGate on the
+  // sender's push counter and re-parks it when a push doesn't satisfy the
+  // match (wrong tag, or an ANY_SOURCE race); the linear scheduler ignores
+  // gates and brute-force re-evaluates every condition after every perform.
+  // The two must produce bit-identical clocks and traces on both backends.
+  //
+  // The body manufactures every re-park hazard: receivers post for a tag
+  // that arrives SECOND (the first push wakes the gate, the match fails,
+  // the waiter re-parks), then drain with ANY_SOURCE + ANY_TAG receives
+  // whose gate is the inbox counter shared by several senders.
+  const int n = 6;
+  const int half = n / 2;
+  auto run_config = [&](runtime::EngineBackend backend,
+                        runtime::SchedulerKind sched) {
+    runtime::EngineOptions o;
+    o.backend = backend;
+    o.scheduler = sched;
+    o.trace = true;
+    Engine eng(plat(), n, o);
+    const auto r = World::run(eng, [&](Comm& c) {
+      double payload = 100.0 * c.rank();
+      if (c.rank() >= half) {
+        const int dst = c.rank() - half;
+        // Mismatched tag first; the receiver's posted recv must skip it.
+        c.send(&payload, sizeof(payload), dst, /*tag=*/9);
+        c.compute(0.7 * (c.rank() % 3 + 1));
+        c.send(&payload, sizeof(payload), dst, /*tag=*/5);
+        c.compute(0.3);
+        c.send(&payload, sizeof(payload), dst, /*tag=*/9);
+      } else {
+        double buf = 0;
+        // Blocks before anything arrives, wakes on the tag-9 push, fails
+        // the match, and re-parks until the tag-5 push.
+        const RecvInfo first =
+            c.recv(&buf, sizeof(buf), c.rank() + half, /*tag=*/5);
+        EXPECT_EQ(first.tag, 5);
+        // Drain the two tag-9 messages via the ANY_SOURCE inbox gate.
+        for (int k = 0; k < 2; ++k) {
+          const RecvInfo any =
+              c.recv(&buf, sizeof(buf), kAnySource, kAnyTag);
+          EXPECT_EQ(any.tag, 9);
+        }
+      }
+    });
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    return std::make_pair(r, eng.trace().records());
+  };
+
+  std::vector<std::pair<runtime::EngineBackend, runtime::SchedulerKind>> cfgs;
+  for (auto backend :
+       {runtime::EngineBackend::kFibers, runtime::EngineBackend::kThreads}) {
+    if (backend == runtime::EngineBackend::kFibers &&
+        !runtime::fibers_supported()) {
+      continue;
+    }
+    cfgs.emplace_back(backend, runtime::SchedulerKind::kIndexedHeap);
+    cfgs.emplace_back(backend, runtime::SchedulerKind::kLinearScan);
+  }
+  ASSERT_GE(cfgs.size(), 2u);
+  const auto [r0, t0] = run_config(cfgs[0].first, cfgs[0].second);
+  for (std::size_t i = 1; i < cfgs.size(); ++i) {
+    const auto [r, t] = run_config(cfgs[i].first, cfgs[i].second);
+    SCOPED_TRACE("config " + std::to_string(i));
+    EXPECT_EQ(r.makespan_us, r0.makespan_us);
+    ASSERT_EQ(r.rank_end_us.size(), r0.rank_end_us.size());
+    for (std::size_t k = 0; k < r0.rank_end_us.size(); ++k) {
+      EXPECT_EQ(r.rank_end_us[k], r0.rank_end_us[k]) << "rank " << k;
+    }
+    ASSERT_EQ(t.size(), t0.size());
+    for (std::size_t k = 0; k < t0.size(); ++k) {
+      EXPECT_EQ(t[k].src_rank, t0[k].src_rank) << k;
+      EXPECT_EQ(t[k].dst_rank, t0[k].dst_rank) << k;
+      EXPECT_EQ(t[k].t_issue, t0[k].t_issue) << k;
+      EXPECT_EQ(t[k].t_arrival, t0[k].t_arrival) << k;
+    }
+  }
+}
+
 TEST(Metrics, DisabledMetricsLeaveTraceUntouched) {
   // Byte-identity guard at the unit level: the trace from a metrics-enabled
   // run must equal the trace from a metrics-disabled run record for record.

@@ -9,6 +9,7 @@
 // whole suite meaningful.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -874,6 +875,133 @@ TEST(EngineMetrics, ProcessWideDefaultIsHonored) {
   EXPECT_TRUE(EngineOptions{}.metrics);
   set_default_metrics(false);
   EXPECT_FALSE(EngineOptions{}.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// StackPool — pooled fiber stacks (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Deliberately odd slot size so these tests get their own pool size class,
+// undisturbed by other tests (and the pool default) using standard sizes.
+constexpr std::size_t kOddStackBytes = 9 * 4096;
+
+__attribute__((noinline)) std::size_t burn_stack(int depth) {
+  volatile char pad[1024];
+  pad[0] = static_cast<char>(depth);
+  pad[sizeof(pad) - 1] = 1;
+  if (depth <= 0) return static_cast<std::size_t>(pad[0]);
+  return burn_stack(depth - 1) + static_cast<std::size_t>(pad[sizeof(pad) - 1]);
+}
+
+}  // namespace
+
+TEST(EngineStackPool, SlotsAreRecycledAcrossEngineLifetimes) {
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  EngineOptions o;
+  o.backend = EngineBackend::kFibers;
+  o.stack_pool = true;
+  o.fiber_stack_bytes = kOddStackBytes;
+  const StackPoolStats before = stack_pool_stats();
+  {
+    Engine eng(plat(), 8, o);
+    ASSERT_TRUE(eng.run([](Rank& rank) { rank.advance(1.0); }).ok());
+  }  // ~Engine releases every slot back to the freelist
+  const StackPoolStats mid = stack_pool_stats();
+  EXPECT_GT(mid.total_slots, before.total_slots);  // first engine carved
+  EXPECT_GE(mid.free_slots, before.free_slots + 8);
+  {
+    Engine eng(plat(), 8, o);
+    ASSERT_TRUE(eng.run([](Rank& rank) { rank.advance(1.0); }).ok());
+    // The second engine reuses the released slots: nothing new is carved.
+    EXPECT_EQ(stack_pool_stats().total_slots, mid.total_slots);
+    EXPECT_EQ(stack_pool_stats().free_slots, mid.free_slots - 8);
+  }
+  EXPECT_EQ(stack_pool_stats().free_slots, mid.free_slots);
+}
+
+TEST(EngineStackPool, ReusedSlotsRepoisonSoHwmIsPerTenant) {
+  // Engine A burns deep frames, dies, and its slots go back to the pool
+  // dirty. Engine B reuses them with a shallow body: poison_stack() must
+  // overwrite A's scribbles or B's high-water marks report A's depth.
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  EngineOptions o;
+  o.backend = EngineBackend::kFibers;
+  o.stack_pool = true;
+  o.fiber_stack_bytes = kOddStackBytes;
+  o.metrics = true;
+  auto peak_hwm = [](const Engine& eng) {
+    std::size_t peak = 0;
+    for (std::size_t h : eng.metrics_report().stack_hwm_bytes) {
+      peak = std::max(peak, h);
+    }
+    return peak;
+  };
+  std::size_t deep = 0;
+  {
+    Engine eng(plat(), 4, o);
+    ASSERT_TRUE(eng.run([](Rank& rank) {
+      rank.advance(static_cast<double>(burn_stack(16)) * 0 + 1.0);
+    }).ok());
+    deep = peak_hwm(eng);
+    EXPECT_GE(deep, 16u * 1024u);  // 16 frames x 1 KiB pad each
+    EXPECT_LE(deep, kOddStackBytes);
+  }
+  {
+    Engine eng(plat(), 4, o);
+    ASSERT_TRUE(eng.run([](Rank& rank) { rank.advance(1.0); }).ok());
+    const std::size_t shallow = peak_hwm(eng);
+    EXPECT_GT(shallow, 0u);
+    EXPECT_LT(shallow, deep / 2);
+  }
+}
+
+TEST(EngineStackPool, PooledAndUnpooledRunsAreBitIdentical) {
+  // Stack placement is invisible to the simulation: same clocks either way.
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build (TSan)";
+  }
+  auto run_once = [&](bool pooled) {
+    EngineOptions o;
+    o.backend = EngineBackend::kFibers;
+    o.stack_pool = pooled;
+    o.fiber_stack_bytes = kOddStackBytes;
+    Engine eng(plat(), 12, o);
+    std::vector<bool> flags(12, false);
+    const RunResult r = eng.run([&](Rank& rank) {
+      const int id = rank.id();
+      rank.advance(0.25 * (id % 5 + 1));
+      eng.perform(rank, [&] { flags[static_cast<std::size_t>(id)] = true; });
+      const int prev = (id + 11) % 12;
+      eng.wait(rank, "peer", [&]() -> std::optional<double> {
+        if (!flags[static_cast<std::size_t>(prev)]) return std::nullopt;
+        return rank.now();
+      });
+    });
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    return r;
+  };
+  const RunResult a = run_once(true);
+  const RunResult b = run_once(false);
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  ASSERT_EQ(a.rank_end_us.size(), b.rank_end_us.size());
+  for (std::size_t i = 0; i < a.rank_end_us.size(); ++i) {
+    EXPECT_EQ(a.rank_end_us[i], b.rank_end_us[i]) << i;
+  }
+}
+
+TEST(EngineStackPool, ProcessWideDefaultIsHonored) {
+  ASSERT_TRUE(default_stack_pool()) << "pooled stacks should default on";
+  EXPECT_TRUE(EngineOptions{}.stack_pool);
+  set_default_stack_pool(false);
+  EXPECT_FALSE(EngineOptions{}.stack_pool);
+  set_default_stack_pool(true);
+  EXPECT_TRUE(EngineOptions{}.stack_pool);
 }
 
 }  // namespace

@@ -278,6 +278,43 @@ TEST(Trace, DisabledTraceRecordsNothing) {
   EXPECT_TRUE(tr.records().empty());
 }
 
+TEST(Trace, RecordStoreSurvivesChunkBoundariesAndClear) {
+  // The chunked store must behave exactly like the vector it replaced:
+  // indexed reads, in-order iteration, deep copies, and clear()+refill — all
+  // across the 64Ki-record chunk boundary.
+  Trace tr;
+  tr.set_enabled(true);
+  const std::size_t n = RecordStore::kChunkSize + RecordStore::kChunkSize / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    tr.record({static_cast<std::int32_t>(i % 97), 1, i, 0.0,
+               static_cast<double>(i), OpKind::kPut, i / 7});
+  }
+  const RecordStore& rs = tr.records();
+  ASSERT_EQ(rs.size(), n);
+  EXPECT_EQ(rs[0].bytes, 0u);
+  EXPECT_EQ(rs[RecordStore::kChunkSize - 1].bytes, RecordStore::kChunkSize - 1);
+  EXPECT_EQ(rs[RecordStore::kChunkSize].bytes, RecordStore::kChunkSize);
+  EXPECT_EQ(rs[n - 1].bytes, n - 1);
+  std::size_t seen = 0;
+  for (const MsgRecord& r : rs) {
+    ASSERT_EQ(r.bytes, seen);
+    ++seen;
+  }
+  EXPECT_EQ(seen, n);
+  // Copies are deep: mutating the original must not show through.
+  RecordStore copy = rs;
+  ASSERT_EQ(copy.size(), n);
+  tr.record({5, 6, 7777, 0.0, 1.0, OpKind::kSend, 0});
+  EXPECT_EQ(copy.size(), n);
+  EXPECT_EQ(copy[n - 1].bytes, n - 1);
+  // clear() resets the logical size; refilled records land at index 0.
+  tr.clear();
+  EXPECT_TRUE(tr.records().empty());
+  tr.record({2, 3, 42, 0.0, 1.0, OpKind::kAtomic, 0});
+  ASSERT_EQ(tr.records().size(), 1u);
+  EXPECT_EQ(tr.records()[0].bytes, 42u);
+}
+
 // --- fault injection ------------------------------------------------------
 
 TEST(Fault, DefaultSpecIsBitIdenticalNoOp) {

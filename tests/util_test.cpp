@@ -480,5 +480,30 @@ TEST(PairMap, SparseModeStoresOnlyTouchedPairs) {
   EXPECT_EQ(m.at(99999, 0), 0.0);  // untouched cells default-construct
 }
 
+TEST(PairMap, HashModeReferencesSurviveGrowth) {
+  // WaitGate counters hold &at(src, dst) while thousands of later inserts
+  // grow and rehash the key table (DESIGN.md §12): values live in fixed
+  // chunks, so references must stay valid until reset().
+  util::PairMap<std::uint64_t> m;
+  m.reset(100000);  // hash mode
+  std::vector<std::uint64_t*> addrs;
+  for (int i = 0; i < 64; ++i) {
+    std::uint64_t& cell = m.at(i, 99999 - i);
+    cell = 1000u + static_cast<std::uint64_t>(i);
+    addrs.push_back(&cell);
+  }
+  // Enough fresh keys to force several grow() rehashes.
+  for (int i = 0; i < 20000; ++i) {
+    m.at(500 + i % 9000, (i * 13) % 100000) += 1;
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(&m.at(i, 99999 - i), addrs[static_cast<std::size_t>(i)]) << i;
+    // Churn keys are disjoint from the probed keys, so values are untouched.
+    EXPECT_EQ(*addrs[static_cast<std::size_t>(i)],
+              1000u + static_cast<std::uint64_t>(i))
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace mrl
