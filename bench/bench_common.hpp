@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,16 @@ inline void dump_metrics_at_exit() {
 }
 }  // namespace detail
 
+/// Bench-specific flag extension for Args::parse. `handler(argc, argv, i)`
+/// returns true when it consumed argv[i] (advancing `i` past any value it
+/// took); on a malformed value it must diagnose, print usage and exit(2)
+/// itself. `usage` lines are appended to the shared usage text. Unconsumed
+/// arguments still reject with usage + rc 2, same as the shared flags.
+struct ExtraFlags {
+  const char* usage = "";
+  std::function<bool(int, char**, int&)> handler;
+};
+
 struct Args {
   bool full = false;  ///< paper-scale problem sizes (slower)
   int jobs = 0;       ///< concurrent grid points; 0 = hardware concurrency
@@ -69,7 +80,8 @@ struct Args {
   /// FaultSpecs, e.g. ext_fault_sweep). Same seed => byte-identical output.
   std::uint64_t fault_seed = 0x5EEDF007ULL;
 
-  static void usage(const char* prog, std::FILE* out) {
+  static void usage(const char* prog, std::FILE* out,
+                    const ExtraFlags* extra = nullptr) {
     std::fprintf(out,
                  "usage: %s [--full] [--jobs N] [--backend B] "
                  "[--scheduler S] [--fault-seed S] [--metrics PATH] "
@@ -109,10 +121,15 @@ struct Args {
                  "                 (N >= 1; default 65536; accesses past "
                  "the cap are still\n"
                  "                 checked but not recorded)\n");
+    if (extra != nullptr && extra->usage[0] != '\0') {
+      std::fprintf(out, "%s", extra->usage);
+    }
   }
 
-  /// Parses the shared bench flags; unrecognized arguments are an error.
-  static Args parse(int argc, char** argv) {
+  /// Parses the shared bench flags (plus a bench's ExtraFlags, if given);
+  /// unrecognized arguments are an error.
+  static Args parse(int argc, char** argv,
+                    const ExtraFlags* extra = nullptr) {
     Args a;
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
@@ -120,7 +137,7 @@ struct Args {
         a.full = true;
       } else if (std::strcmp(arg, "--help") == 0 ||
                  std::strcmp(arg, "-h") == 0) {
-        usage(argv[0], stdout);
+        usage(argv[0], stdout, extra);
         std::exit(0);
       } else if (std::strcmp(arg, "--jobs") == 0 ||
                  std::strncmp(arg, "--jobs=", 7) == 0) {
@@ -263,8 +280,12 @@ struct Args {
         }
         check::set_default_check_history(static_cast<std::uint64_t>(*n));
       } else {
+        if (extra != nullptr && extra->handler != nullptr &&
+            extra->handler(argc, argv, i)) {
+          continue;
+        }
         std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], arg);
-        usage(argv[0], stderr);
+        usage(argv[0], stderr, extra);
         std::exit(2);
       }
     }

@@ -8,6 +8,9 @@
 //   fig05_stencil_100k  one-sided stencil, 100000 ranks (800 nodes)
 //   fig07_grid          the Fig 7 GPU workload trio at 4 PEs
 //   ext_fault_sweep     degraded-network sweep, 3 flavors x 5 intensities
+//   embedding           DLRM-style embedding-lookup serving: MPI at 64
+//                       ranks + SHMEM at 4 PEs (--skip-embedding omits
+//                       it, --only-embedding runs nothing else)
 //   stencil_1m          one-sided stencil, 1,000,000 ranks — the pooled-stack
 //                       + gated-wait + SoA scale smoke (DESIGN.md §12); also
 //                       reports ranks/sec. Needs ~71 GB resident (~70 KB per
@@ -45,6 +48,7 @@
 #include "simnet/fault.hpp"
 #include "simnet/platform.hpp"
 #include "util/parse.hpp"
+#include "workloads/embedding/embedding.hpp"
 #include "workloads/hashtable/hashtable.hpp"
 #include "workloads/sptrsv/sptrsv.hpp"
 #include "workloads/stencil/stencil.hpp"
@@ -254,7 +258,8 @@ int usage(const char* argv0) {
                "usage: %s [--out PATH] [--baseline PATH] [--tolerance PCT] "
                "[--rss-tolerance PCT] [--jobs N] [--backend fibers|threads] "
                "[--scheduler heap|linear] [--stack-pool on|off] "
-               "[--stack-pool-slab-mb N] [--skip-1m | --only-1m]\n",
+               "[--stack-pool-slab-mb N] [--skip-1m | --only-1m] "
+               "[--skip-embedding | --only-embedding]\n",
                argv0);
   return 2;
 }
@@ -269,6 +274,8 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool skip_1m = false;
   bool only_1m = false;
+  bool skip_embedding = false;
+  bool only_embedding = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -333,11 +340,22 @@ int main(int argc, char** argv) {
       skip_1m = true;
     } else if (std::strcmp(arg, "--only-1m") == 0) {
       only_1m = true;
+    } else if (std::strcmp(arg, "--skip-embedding") == 0) {
+      skip_embedding = true;
+    } else if (std::strcmp(arg, "--only-embedding") == 0) {
+      only_embedding = true;
     } else {
       return usage(argv[0]);
     }
   }
   if (skip_1m && only_1m) return usage(argv[0]);
+  if (skip_embedding && only_embedding) return usage(argv[0]);
+  // The two --only modes are each "run exactly this section": combining
+  // them would run nothing, so reject the contradiction up front.
+  if (only_1m && only_embedding) return usage(argv[0]);
+  if (only_embedding) skip_1m = true;
+  if (only_1m) skip_embedding = true;
+  const bool core_sections = !only_1m && !only_embedding;
 
   core::set_default_jobs(jobs);
   runtime::set_default_metrics(true);  // the sim-op counter
@@ -347,7 +365,7 @@ int main(int argc, char** argv) {
 
   std::vector<SectionResult> results;
 
-  if (!only_1m) results.push_back(run_section("fig01_roofline", [] {
+  if (core_sections) results.push_back(run_section("fig01_roofline", [] {
     const auto plat = simnet::Platform::frontier_cpu();
     auto cfg = core::SweepConfig::defaults(core::SweepKind::kOneSidedMpi);
     cfg.iters = 4;
@@ -356,7 +374,7 @@ int main(int argc, char** argv) {
     check_ok(pts.is_ok() ? Status::ok() : pts.status(), "fig01 sweep");
   }));
 
-  if (!only_1m) {
+  if (core_sections) {
     workloads::stencil::Config cfg;
     cfg.n = 1024;
     cfg.iters = 2;
@@ -368,7 +386,7 @@ int main(int argc, char** argv) {
     }));
   }
 
-  if (!only_1m) {
+  if (core_sections) {
     // 100k ranks: shrink fiber stacks (64 KiB is ample — asserted by the
     // stack high-water-mark layer) so address space stays bounded.
     const std::size_t saved = runtime::default_fiber_stack_bytes();
@@ -385,7 +403,7 @@ int main(int argc, char** argv) {
     runtime::set_default_fiber_stack_bytes(saved);
   }
 
-  if (!only_1m) results.push_back(run_section("fig07_grid", [] {
+  if (core_sections) results.push_back(run_section("fig07_grid", [] {
     const auto gpu = simnet::Platform::perlmutter_gpu();
     const int P = 4;
     workloads::stencil::Config stc;
@@ -408,7 +426,7 @@ int main(int argc, char** argv) {
              "fig07 hashtable");
   }));
 
-  if (!only_1m) results.push_back(run_section("ext_fault_sweep", [] {
+  if (core_sections) results.push_back(run_section("ext_fault_sweep", [] {
     struct Flavor {
       core::SweepKind kind;
       simnet::Platform (*platform)();
@@ -436,6 +454,26 @@ int main(int argc, char** argv) {
         check_ok(pts.is_ok() ? Status::ok() : pts.status(), "fault sweep");
       }
     }
+  }));
+
+  if (!skip_embedding) results.push_back(run_section("embedding", [] {
+    // Serving-scale embedding lookup (DESIGN.md §13): the batched-get hot
+    // path with combining on. Moderate scale — the section times the
+    // engine's get/flush machinery, not the workload's asymptotics.
+    workloads::embedding::Config cfg;
+    cfg.rows = 1 << 15;
+    cfg.dim = 64;
+    cfg.queries_per_rank = 32;
+    cfg.lookups_per_query = 16;
+    cfg.batch = 8;
+    cfg.zipf_s = 0.99;
+    cfg.verify = false;
+    const auto cpu = simnet::Platform::perlmutter_cpu(1);
+    check_ok(workloads::embedding::run_mpi(cpu, 64, cfg).status,
+             "embedding mpi");
+    const auto gpu = simnet::Platform::perlmutter_gpu();
+    check_ok(workloads::embedding::run_shmem(gpu, 4, cfg).status,
+             "embedding shmem");
   }));
 
   if (!skip_1m) {

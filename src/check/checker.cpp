@@ -193,6 +193,11 @@ std::uint32_t Checker::scan_and_record(int space, int owner, Rec rec) {
       spaces_[static_cast<std::size_t>(space)].regions[static_cast<std::size_t>(
           owner)];
   const Clock& observer_vc = vc_[static_cast<std::size_t>(rec.rank)];
+  // First-divergence reporting: with k unordered conflicting writers the
+  // full pair set is quadratic and unreadable. Records are appended in
+  // global virtual-time order, so the first unordered conflict in scan
+  // order is the earliest conflicting endpoint — report that one pair per
+  // new access and stop.
   for (const Rec& old : region.recs) {
     if (!conflicts(old, rec)) continue;
     // old happens-before the new access iff old has completed and the new
@@ -208,11 +213,15 @@ std::uint32_t Checker::scan_and_record(int space, int owner, Rec rec) {
          " bytes " + fmt_range(rec.off, rec.bytes);
     v += " conflicts with ";
     v += to_string(old.kind);
-    if (old.in_flight) v += " (in flight)";
+    if (old.in_flight) {
+      v += old.locally_complete ? " (in flight; flush_local only)"
+                                : " (in flight)";
+    }
     v += " by rank " + std::to_string(old.rank) + " @" + fmt_t(old.t) +
          " bytes " + fmt_range(old.off, old.bytes);
     v += " — unordered in happens-before";
     add_violation(rec.rank, std::move(v));
+    break;
   }
   if (region.recs.size() >=
       static_cast<std::size_t>(history_limit_)) {
@@ -357,9 +366,13 @@ PutHandles Checker::on_put(int origin, int space, int owner,
                           : "sync misuse: put_signal by rank ";
       v += std::to_string(origin) + " @" + fmt_t(t) + " to " +
            where(space, owner) + " may overtake unflushed data put bytes " +
-           fmt_range(prior.off, prior.bytes) + " @" + fmt_t(prior.t) +
-           (cls == PutClass::kSignal ? " — flush before signaling"
-                                     : " — quiet before put_signal");
+           fmt_range(prior.off, prior.bytes) + " @" + fmt_t(prior.t);
+      if (prior.locally_complete) {
+        v += " (flush_local completed it locally only; it does not order "
+             "remote delivery)";
+      }
+      v += cls == PutClass::kSignal ? " — flush before signaling"
+                                    : " — quiet before put_signal";
       add_violation(origin, std::move(v));
       break;  // one diagnostic per signal op, not one per pending put
     }
@@ -492,6 +505,24 @@ void Checker::on_flush(int origin, int space, int target) {
   }
 }
 
+void Checker::on_flush_local(int origin, int space, int target) {
+  if (!enabled_) return;
+  // Deliberately no tick, no order-clock stamp, no in-flight erasure:
+  // MPI_Win_flush_local licenses reuse of the origin's source buffers (which
+  // the checker never tracks) and nothing else. The puts remain in flight —
+  // a later signal still overtakes them (W1) and finishing without a real
+  // flush still leaks them (W2). We only mark the records so those verdicts
+  // can name flush_local instead of claiming no completion call was made.
+  for (const InFlight& f : in_flight_[static_cast<std::size_t>(origin)]) {
+    if (f.space != space || (target >= 0 && f.owner != target)) continue;
+    if (f.idx == kNoRec) continue;
+    Rec& rec = spaces_[static_cast<std::size_t>(f.space)]
+                   .regions[static_cast<std::size_t>(f.owner)]
+                   .recs[f.idx];
+    if (rec.in_flight) rec.locally_complete = true;
+  }
+}
+
 void Checker::on_applied(int space, int owner, const PutHandles& h) {
   if (!enabled_) return;
   Region& region =
@@ -535,8 +566,11 @@ void Checker::on_run_end() {
       std::string v = "sync misuse: put by rank " + std::to_string(origin) +
                       " @" + fmt_t(rec.t) + " to " + where(f.space, f.owner) +
                       " bytes " + fmt_range(rec.off, rec.bytes) +
-                      " was never completed — missing flush/quiet/fence "
-                      "before finishing";
+                      (rec.locally_complete
+                           ? " was completed only locally (flush_local is "
+                             "not remote completion)"
+                           : " was never completed") +
+                      " — missing flush/quiet/fence before finishing";
       add_violation(origin, std::move(v));
     }
   }

@@ -22,10 +22,13 @@
 //      the per-(window, owner-rank) region it touched. A new access scans the
 //      region for conflicting records (byte overlap, different ranks, not
 //      both atomic, at least one write) that are unordered in happens-before,
-//      and reports both endpoints. Put records stay "in flight" — unordered
-//      before *everything* — until the origin completes them (flush / quiet /
-//      fence) or the target observes their application; that models MPI-3 /
-//      SHMEM completion rules, where issuing a put guarantees nothing.
+//      and reports the first-divergence pair: the new access plus the
+//      earliest-virtual-time conflicting endpoint (one line per racing
+//      access, not the quadratic set of pairs). Put records stay "in flight"
+//      — unordered before *everything* — until the origin completes them
+//      (flush / quiet / fence) or the target observes their application;
+//      that models MPI-3 / SHMEM completion rules, where issuing a put
+//      guarantees nothing and flush_local only licenses origin-buffer reuse.
 //
 //   3. Epoch discipline. Per-origin outstanding-put state catches
 //      order-sensitive misuse the pure happens-before graph would forgive:
@@ -176,8 +179,17 @@ class Checker {
 
   /// Origin-side completion (flush/quiet/fence): every in-flight put by
   /// `origin` in `space` to `target` (-1 = all targets) becomes ordered at
-  /// the origin's current clock.
+  /// the origin's current clock. Completion is per-target: `flush(t1)` never
+  /// discharges obligations to `t2`.
   void on_flush(int origin, int space, int target);
+  /// Local-only completion (MPI_Win_flush_local): the origin's source
+  /// buffers are reusable, but the puts are NOT remotely complete — they
+  /// stay in flight (unordered before everything), still overtakeable by
+  /// signals (W1) and still leaked if the rank finishes without a real
+  /// flush/quiet/fence (W2). The only effect is diagnostic: later W1/W2
+  /// reports name flush_local explicitly instead of claiming the put was
+  /// never completed at all.
+  void on_flush_local(int origin, int space, int target);
   /// Target-side observation: the pending delivery carrying `h` was applied
   /// to `owner`'s region; `owner` joins the origin's issue-time clock and the
   /// record completes.
@@ -228,6 +240,9 @@ class Checker {
     PutClass cls = PutClass::kData;
     bool in_flight = false;  ///< put not yet flushed/quieted nor observed
     bool applied = false;    ///< delivery applied at the target
+    /// flush_local completed this put locally (origin buffer reusable) but
+    /// not remotely; only sharpens W1/W2 diagnostics, never orders anything.
+    bool locally_complete = false;
     std::uint64_t off = 0;
     std::uint64_t bytes = 0;
     /// Ordering clock: the component of `rank`'s clock that must be known

@@ -153,7 +153,13 @@ void Win::flush_local(Comm& c, int target) {
       done = std::max(done, o.local_done);
     }
     if (done > c.now()) c.rank_ctx().advance(done - c.now());
+    auto& chk = eng.checker();
+    if (chk.enabled() && chk_space_ >= 0) {
+      chk.on_flush_local(c.rank(), chk_space_, target);
+    }
   });
+  // No bump_epoch: flush_local is not remote completion, so puts stay in
+  // the current outstanding epoch and flush/fence still owe their waits.
 }
 
 void Win::flush_local_all(Comm& c) { flush_local(c, -1); }

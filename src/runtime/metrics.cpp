@@ -85,6 +85,7 @@ RankMetrics MetricsReport::totals() const {
     t.blocked_us += r.blocked_us;  // fixed rank-id order => deterministic
     t.msg_bytes.merge(r.msg_bytes);
     t.wait_us.merge(r.wait_us);
+    t.query_us.merge(r.query_us);
   }
   return t;
 }
@@ -99,6 +100,7 @@ std::vector<std::vector<std::string>> MetricsReport::csv_rows() const {
   rows.push_back({"total", "", "nranks", std::to_string(nranks)});
   hist_rows(rows, "hist_msg_bytes", t.msg_bytes);
   hist_rows(rows, "hist_wait_us", t.wait_us);
+  hist_rows(rows, "hist_query_us", t.query_us);
   for (std::size_t i = 0; i < ranks.size(); ++i) {
     const std::string id = std::to_string(i);
     counter_rows(rows, "rank", id, ranks[i].ops);
@@ -231,6 +233,7 @@ void MetricsRegistry::publish(const MetricsReport& report) {
   totals_.add(t.ops);
   msg_bytes_.merge(t.msg_bytes);
   wait_us_.merge(t.wait_us);
+  query_us_.merge(t.query_us);
   for (const LinkMetrics& l : report.links) {
     // Each report's doubles are deterministic per run; quantizing them to
     // integer picoseconds before summing keeps the aggregate commutative.
@@ -249,6 +252,7 @@ void MetricsRegistry::reset() {
   totals_ = OpCounters{};
   msg_bytes_ = Log2Histogram{};
   wait_us_ = Log2Histogram{};
+  query_us_ = Log2Histogram{};
   links_.clear();
 }
 
@@ -289,6 +293,7 @@ std::vector<std::vector<std::string>> MetricsRegistry::csv_rows() const {
   rows.push_back({"total", "", "max_makespan_us", fmt_f64(max_makespan_us_)});
   hist_rows(rows, "hist_msg_bytes", msg_bytes_);
   hist_rows(rows, "hist_wait_us", wait_us_);
+  hist_rows(rows, "hist_query_us", query_us_);
   for (const auto& [key, agg] : links_) {
     const std::string id = key.first + ":" + std::to_string(key.second);
     rows.push_back({"link", id, "msgs", fmt_u64(agg.msgs)});

@@ -67,6 +67,7 @@ struct RankMetrics {
   double blocked_us = 0;       ///< virtual time spent inside Engine::wait
   Log2Histogram msg_bytes;     ///< issued-message payload sizes
   Log2Histogram wait_us;       ///< per-wait virtual durations
+  Log2Histogram query_us;      ///< per-query serving latencies (embedding)
 };
 
 /// One direction of one physical link.
@@ -152,6 +153,12 @@ class Metrics {
     if (!enabled_) return;
     rank_at(rank).ops.violations += n;
   }
+  /// One served query completed after `latency_us` of virtual time
+  /// (serving-style workloads: the embedding lookup bench).
+  void on_query(int rank, double latency_us) {
+    if (!enabled_) return;
+    rank_at(rank).query_us.add(latency_us);
+  }
 
   [[nodiscard]] const std::vector<RankMetrics>& ranks() const {
     return ranks_;
@@ -229,6 +236,7 @@ class MetricsRegistry {
   OpCounters totals_;
   Log2Histogram msg_bytes_;
   Log2Histogram wait_us_;
+  Log2Histogram query_us_;
   std::map<std::pair<std::string, int>, LinkAgg> links_;
 };
 

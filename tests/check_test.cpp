@@ -265,7 +265,168 @@ TEST(CheckCorpus, ShmemBarrierVsSumAllMismatch) {
       << res.status.to_string();
 }
 
+// --- flush_local vs flush (the PR 8 soundness fixes) ----------------------
+// MPI_Win_flush_local licenses origin-buffer reuse only. Pre-fix the checker
+// had no notion of it at all: these programs were vetted as if no completion
+// call had been made, so W1/W2 verdicts blamed a "never completed" put even
+// when the program did call flush_local — the diagnostics pinned here did
+// not exist.
+
+TEST(CheckCorpus, MpiFlushLocalDoesNotDischargeSignalObligation) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(16, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double data[8] = {0};
+      std::uint64_t sig = 1;
+      win.put(data, sizeof(data), 1, 0);
+      win.flush_local(1);  // BUG: local completion does not order delivery
+      win.put(&sig, sizeof(sig), 1, 64, simnet::OpKind::kSignal);
+      win.flush_all();
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "flush before signaling")) << s;
+  EXPECT_TRUE(contains(s, "flush_local completed it locally only")) << s;
+}
+
+TEST(CheckCorpus, MpiFlushLocalLeakedToExit) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double v = 1.0;
+      win.put(&v, sizeof(v), 1, 0);
+      win.flush_local_all();  // BUG: rank finishes with no remote completion
+    }
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "completed only locally (flush_local is not "
+                          "remote completion)"))
+      << s;
+  EXPECT_TRUE(contains(s, "missing flush/quiet/fence before finishing")) << s;
+}
+
+// Same program twice, differing only in the completion call: flush orders the
+// put through the barrier (clean); flush_local leaves it in flight (race).
+Status mpi_put_complete_then_read(EngineOptions opt, bool local_only) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 3, opt);
+  const auto res = mpi::World::run(eng, [local_only](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double v = 1.0;
+      win.put(&v, sizeof(v), 2, 0);
+      if (local_only) {
+        win.flush_local(2);
+      } else {
+        win.flush(2);
+      }
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      double v = 0.0;
+      win.get(&v, sizeof(v), 2, 0);
+    }
+    win.fence();
+  });
+  return res.status;
+}
+
+TEST(CheckCorpus, MpiFlushLocalDoesNotOrderRemoteReads) {
+  const Status clean = mpi_put_complete_then_read(checked(), false);
+  EXPECT_TRUE(clean.is_ok()) << clean.to_string();
+  const Status racy = mpi_put_complete_then_read(checked(), true);
+  ASSERT_EQ(racy.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = racy.to_string();
+  EXPECT_TRUE(contains(s, "race on win0@rank2")) << s;
+  EXPECT_TRUE(contains(s, "(in flight; flush_local only)")) << s;
+}
+
+TEST(CheckCorpus, MpiFlushWrongTargetDoesNotDischargeExitObligation) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 3, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double v = 1.0;
+      win.put(&v, sizeof(v), 1, 0);
+      win.put(&v, sizeof(v), 2, 0);
+      win.flush(1);  // BUG: completes the put to rank 1 only
+    }
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "to win0@rank2")) << s;
+  EXPECT_FALSE(contains(s, "to win0@rank1")) << s;
+}
+
+TEST(CheckCorpus, MpiFlushWrongTargetDoesNotDischargeSignalObligation) {
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 3, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(16, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double data[8] = {0};
+      std::uint64_t sig = 1;
+      win.put(data, sizeof(data), 2, 0);
+      win.flush(1);  // BUG: wrong target; the put to rank 2 is still in flight
+      win.put(&sig, sizeof(sig), 2, 64, simnet::OpKind::kSignal);
+      win.flush_all();
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(contains(res.status.to_string(), "flush before signaling"))
+      << res.status.to_string();
+}
+
+TEST(CheckCorpus, MultiWriterRaceReportsFirstDivergencePairOnly) {
+  // Four unordered writers to the same bytes: quadratic pair reporting would
+  // emit 6 lines; first-divergence reporting emits one per racing access.
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 5, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    double v = c.rank();
+    if (c.rank() < 4) {
+      win.put(&v, sizeof(v), 4, 0);
+      win.flush(4);
+    }
+    win.fence();
+  });
+  ASSERT_EQ(res.status.code(), ErrorCode::kFailedPrecondition);
+  const std::string s = res.status.to_string();
+  EXPECT_TRUE(contains(s, "RMA checker: 3 violation(s)")) << s;
+}
+
 // --- clean programs: zero false positives ---------------------------------
+
+TEST(CheckClean, FlushLocalThenFlushIsClean) {
+  // The hashtable's Treiber push pattern: put, flush_local (reuse the source
+  // buffer), then real flush before anyone reads. Must stay verdict-free.
+  Engine eng(simnet::Platform::perlmutter_cpu(1), 2, checked());
+  const auto res = mpi::World::run(eng, [](mpi::Comm& c) {
+    std::vector<double> buf(8, 0.0);
+    auto win = c.create_win(buf.data(), buf.size() * sizeof(double));
+    if (c.rank() == 0) {
+      double v = 1.0;
+      win.put(&v, sizeof(v), 1, 0);
+      win.flush_local(1);
+      v = 2.0;  // source buffer legally reused after flush_local
+      win.put(&v, sizeof(v), 1, 0);
+      win.flush(1);
+    }
+    win.fence();
+  });
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+}
+
 
 TEST(CheckClean, FencedPutsAndSignalWaitPatternsPass) {
   // MPI: the paper's fence-delimited exchange. Also exercises Win_sync.
