@@ -18,6 +18,7 @@
 #include "core/parallel.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/profiler.hpp"
 #include "util/csv.hpp"
 #include "util/parse.hpp"
 #include "util/status.hpp"
@@ -61,6 +62,66 @@ inline void dump_metrics_at_exit() {
   }
   std::fprintf(stderr, "[metrics] %s\n", path.c_str());
 }
+
+/// Paths/format for the profiler dumps (empty = disabled), DESIGN.md §14.
+inline std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+inline std::string& trace_format() {
+  static std::string fmt = "chrome";
+  return fmt;
+}
+inline std::string& profile_path() {
+  static std::string path;
+  return path;
+}
+inline std::string& check_report_path() {
+  static std::string path;
+  return path;
+}
+
+/// atexit hook for --trace: write the deterministically captured run
+/// (runtime::ProfileCapture keeps the slowest run, order-independently) in
+/// the selected format.
+inline void dump_trace_at_exit() {
+  const std::string& path = trace_path();
+  if (path.empty()) return;
+  if (runtime::dump_captured_trace(path, trace_format())) {
+    std::fprintf(stderr, "[trace] %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "FATAL: could not write --trace %s\n", path.c_str());
+    std::_Exit(1);
+  }
+}
+
+/// atexit hook for --profile: run the critical-path analyzer on the captured
+/// run and write its fixed-format report.
+inline void dump_profile_at_exit() {
+  const std::string& path = profile_path();
+  if (path.empty()) return;
+  if (runtime::dump_captured_profile(path)) {
+    std::fprintf(stderr, "[profile] %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "FATAL: could not write --profile %s\n",
+                 path.c_str());
+    std::_Exit(1);
+  }
+}
+
+/// atexit hook for --check-report: dump the process-wide registry of checker
+/// verdicts as schema-stable JSON (sorted, so bytes are independent of
+/// backend/scheduler/--jobs).
+inline void dump_check_report_at_exit() {
+  const std::string& path = check_report_path();
+  if (path.empty()) return;
+  const Status st = check::CheckReportRegistry::instance().write_json(path);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", st.to_string().c_str());
+    std::_Exit(1);
+  }
+  std::fprintf(stderr, "[check-report] %s\n", path.c_str());
+}
 }  // namespace detail
 
 /// Bench-specific flag extension for Args::parse. `handler(argc, argv, i)`
@@ -85,7 +146,9 @@ struct Args {
     std::fprintf(out,
                  "usage: %s [--full] [--jobs N] [--backend B] "
                  "[--scheduler S] [--fault-seed S] [--metrics PATH] "
-                 "[--check] [--check-history N]\n",
+                 "[--check] [--check-history N] [--check-report PATH]\n"
+                 "                 [--trace PATH] [--trace-format F] "
+                 "[--trace-ranks A-B] [--profile PATH]\n",
                  prog);
     std::fprintf(out,
                  "  --full         paper-scale problem sizes (slower)\n"
@@ -120,7 +183,35 @@ struct Args {
                  "the checker\n"
                  "                 (N >= 1; default 65536; accesses past "
                  "the cap are still\n"
-                 "                 checked but not recorded)\n");
+                 "                 checked but not recorded)\n"
+                 "  --check-report PATH  implies --check; write a "
+                 "machine-readable JSON\n"
+                 "                 dump of all checker verdicts to PATH at "
+                 "exit (sorted, so\n"
+                 "                 bytes are identical across backends, "
+                 "schedulers, --jobs)\n"
+                 "  --trace PATH   enable per-rank execution spans and "
+                 "write the captured\n"
+                 "                 run's timeline to PATH at exit "
+                 "(deterministic: the\n"
+                 "                 slowest run wins, ties broken "
+                 "content-first)\n"
+                 "  --trace-format F  trace output format: 'chrome' "
+                 "(default; Perfetto/\n"
+                 "                 chrome://tracing JSON with rank "
+                 "timelines and counter\n"
+                 "                 tracks) or 'csv' (message records)\n"
+                 "  --trace-ranks A-B  only emit rank timelines for ranks "
+                 "A..B inclusive\n"
+                 "                 (0 <= A <= B; bounds trace size at large "
+                 "rank counts;\n"
+                 "                 counter tracks stay global)\n"
+                 "  --profile PATH run the deterministic critical-path "
+                 "analyzer on the\n"
+                 "                 captured run and write its report to "
+                 "PATH at exit\n"
+                 "                 (category totals exactly partition the "
+                 "makespan)\n");
     if (extra != nullptr && extra->usage[0] != '\0') {
       std::fprintf(out, "%s", extra->usage);
     }
@@ -279,6 +370,127 @@ struct Args {
           std::exit(2);
         }
         check::set_default_check_history(static_cast<std::uint64_t>(*n));
+      } else if (std::strcmp(arg, "--check-report") == 0 ||
+                 std::strncmp(arg, "--check-report=", 15) == 0) {
+        const char* val = nullptr;
+        if (arg[14] == '=') {
+          val = arg + 15;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --check-report requires a path\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "%s: --check-report requires a non-empty path\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        detail::check_report_path() = val;
+        check::set_default_check(true);
+        check::set_default_check_report(true);
+        std::atexit(&detail::dump_check_report_at_exit);
+      } else if (std::strcmp(arg, "--trace") == 0 ||
+                 std::strncmp(arg, "--trace=", 8) == 0) {
+        const char* val = nullptr;
+        if (arg[7] == '=') {
+          val = arg + 8;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --trace requires a path\n", argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "%s: --trace requires a non-empty path\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        detail::trace_path() = val;
+        runtime::set_default_trace(true);
+        runtime::set_default_spans(true);
+        std::atexit(&detail::dump_trace_at_exit);
+      } else if (std::strcmp(arg, "--trace-format") == 0 ||
+                 std::strncmp(arg, "--trace-format=", 15) == 0) {
+        const char* val = nullptr;
+        if (arg[14] == '=') {
+          val = arg + 15;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --trace-format requires a value\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        if (std::strcmp(val, "chrome") != 0 && std::strcmp(val, "csv") != 0) {
+          std::fprintf(stderr,
+                       "%s: invalid --trace-format value '%s' (expected "
+                       "'chrome' or 'csv')\n",
+                       argv[0], val);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        detail::trace_format() = val;
+      } else if (std::strcmp(arg, "--trace-ranks") == 0 ||
+                 std::strncmp(arg, "--trace-ranks=", 14) == 0) {
+        const char* val = nullptr;
+        if (arg[13] == '=') {
+          val = arg + 14;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --trace-ranks requires a value\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        char* end = nullptr;
+        const long lo = std::strtol(val, &end, 10);
+        long hi = -1;
+        bool ok = end != val && *end == '-' && lo >= 0;
+        if (ok) {
+          const char* rest = end + 1;
+          hi = std::strtol(rest, &end, 10);
+          ok = end != rest && *end == '\0' && hi >= lo;
+        }
+        if (!ok) {
+          std::fprintf(stderr,
+                       "%s: invalid --trace-ranks value '%s' (expected A-B "
+                       "with 0 <= A <= B)\n",
+                       argv[0], val);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        runtime::set_default_trace_ranks(
+            {static_cast<int>(lo), static_cast<int>(hi)});
+      } else if (std::strcmp(arg, "--profile") == 0 ||
+                 std::strncmp(arg, "--profile=", 10) == 0) {
+        const char* val = nullptr;
+        if (arg[9] == '=') {
+          val = arg + 10;
+        } else if (i + 1 < argc) {
+          val = argv[++i];
+        } else {
+          std::fprintf(stderr, "%s: --profile requires a path\n", argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "%s: --profile requires a non-empty path\n",
+                       argv[0]);
+          usage(argv[0], stderr);
+          std::exit(2);
+        }
+        detail::profile_path() = val;
+        runtime::set_default_trace(true);
+        runtime::set_default_spans(true);
+        std::atexit(&detail::dump_profile_at_exit);
       } else {
         if (extra != nullptr && extra->handler != nullptr &&
             extra->handler(argc, argv, i)) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "core/fit.hpp"
 #include "mpi/comm.hpp"
 #include "core/report.hpp"
@@ -26,6 +27,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/profiler.hpp"
 #include "simnet/platform.hpp"
 #include "simnet/trace_export.hpp"
 #include "util/csv.hpp"
@@ -85,7 +87,21 @@ using namespace mrl;
       "                  op/byte-range diagnostics; MSGROOF_CHECK=1 works\n"
       "                  too; clean runs produce unchanged output bytes)\n"
       "  --check-history N  per-region shadow-history cap for the checker\n"
-      "                  (N >= 1; default 65536)\n");
+      "                  (N >= 1; default 65536)\n"
+      "  --check-report PATH  implies --check; write a machine-readable JSON\n"
+      "                  dump of all checker verdicts to PATH on exit\n"
+      "                  (sorted => byte-identical across backends and jobs)\n"
+      "  --trace PATH    enable per-rank execution spans and write the\n"
+      "                  captured run's timeline to PATH on exit (the\n"
+      "                  deterministically slowest run wins)\n"
+      "  --trace-format F  trace output format: 'chrome' (default;\n"
+      "                  Perfetto/chrome://tracing JSON with rank timelines\n"
+      "                  and counter tracks) or 'csv' (message records)\n"
+      "  --trace-ranks A-B  only emit rank timelines for ranks A..B\n"
+      "                  inclusive (0 <= A <= B; counter tracks stay global)\n"
+      "  --profile PATH  run the deterministic critical-path analyzer on the\n"
+      "                  captured run and write its report to PATH on exit\n"
+      "                  (category totals exactly partition the makespan)\n");
   std::exit(2);
 }
 
@@ -97,6 +113,11 @@ std::uint64_t g_fault_seed = 0x5EEDF007ULL;
 std::string g_metrics_path;
 int g_nodes = 1;
 bool g_metrics_written = false;  // set when a command wrote a full report
+// Global profiler/checker-report knobs (DESIGN.md §14).
+std::string g_trace_path;
+std::string g_trace_format = "chrome";
+std::string g_profile_path;
+std::string g_check_report_path;
 
 simnet::Platform pick_platform(const std::string& name) {
   using simnet::Platform;
@@ -368,7 +389,12 @@ int main(int argc, char** argv) {
         std::strcmp(arg, "--nodes") == 0 ||
         std::strcmp(arg, "--stack-bytes") == 0 ||
         std::strcmp(arg, "--stack-pool") == 0 ||
-        std::strcmp(arg, "--stack-pool-slab-mb") == 0) {
+        std::strcmp(arg, "--stack-pool-slab-mb") == 0 ||
+        std::strcmp(arg, "--check-report") == 0 ||
+        std::strcmp(arg, "--trace") == 0 ||
+        std::strcmp(arg, "--trace-format") == 0 ||
+        std::strcmp(arg, "--trace-ranks") == 0 ||
+        std::strcmp(arg, "--profile") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", arg);
         usage();
@@ -441,12 +467,63 @@ int main(int argc, char** argv) {
                        val);
           usage();
         }
-      } else {  // --stack-pool-slab-mb
+      } else if (std::strcmp(arg, "--stack-pool-slab-mb") == 0) {
         const auto v =
             parse_cli_int(val, 1, "--stack-pool-slab-mb value");
         if (!v) usage();
         runtime::set_stack_pool_slab_bytes(static_cast<std::size_t>(*v)
                                            << 20);
+      } else if (std::strcmp(arg, "--check-report") == 0) {
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "--check-report requires an output path\n");
+          usage();
+        }
+        g_check_report_path = val;
+        check::set_default_check(true);
+        check::set_default_check_report(true);
+      } else if (std::strcmp(arg, "--trace") == 0) {
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "--trace requires an output path\n");
+          usage();
+        }
+        g_trace_path = val;
+        runtime::set_default_trace(true);
+        runtime::set_default_spans(true);
+      } else if (std::strcmp(arg, "--trace-format") == 0) {
+        if (std::strcmp(val, "chrome") != 0 && std::strcmp(val, "csv") != 0) {
+          std::fprintf(stderr,
+                       "invalid --trace-format value '%s' (expected 'chrome' "
+                       "or 'csv')\n",
+                       val);
+          usage();
+        }
+        g_trace_format = val;
+      } else if (std::strcmp(arg, "--trace-ranks") == 0) {
+        const long lo = std::strtol(val, &end, 10);
+        long hi = -1;
+        bool ok = end != val && *end == '-' && lo >= 0;
+        if (ok) {
+          const char* rest = end + 1;
+          hi = std::strtol(rest, &end, 10);
+          ok = end != rest && *end == '\0' && hi >= lo;
+        }
+        if (!ok) {
+          std::fprintf(stderr,
+                       "invalid --trace-ranks value '%s' (expected A-B with "
+                       "0 <= A <= B)\n",
+                       val);
+          usage();
+        }
+        runtime::set_default_trace_ranks(
+            {static_cast<int>(lo), static_cast<int>(hi)});
+      } else {  // --profile
+        if (val[0] == '\0') {
+          std::fprintf(stderr, "--profile requires an output path\n");
+          usage();
+        }
+        g_profile_path = val;
+        runtime::set_default_trace(true);
+        runtime::set_default_spans(true);
       }
       continue;
     }
@@ -482,6 +559,32 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("[metrics] %s\n", g_metrics_path.c_str());
+  }
+  // Profiler dumps write whatever run was deterministically captured; the
+  // checker report dumps even when the run failed with a verdict (that is
+  // its whole point).
+  if (!g_trace_path.empty()) {
+    if (runtime::dump_captured_trace(g_trace_path, g_trace_format)) {
+      std::printf("[trace] %s\n", g_trace_path.c_str());
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
+  if (!g_profile_path.empty()) {
+    if (runtime::dump_captured_profile(g_profile_path)) {
+      std::printf("[profile] %s\n", g_profile_path.c_str());
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
+  if (!g_check_report_path.empty()) {
+    const Status st = check::CheckReportRegistry::instance().write_json(
+        g_check_report_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("[check-report] %s\n", g_check_report_path.c_str());
   }
   return rc;
 }

@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <ostream>
+#include <tuple>
 #include <utility>
 
 namespace mrl::check {
@@ -159,12 +162,12 @@ Checker::Wire& Checker::wire(int src, int dst) {
   return *wires_.insert(it, std::move(w));
 }
 
-void Checker::add_violation(int rank, std::string text) {
-  if (rank >= 0 && rank < nranks_) {
-    ++per_rank_violations_[static_cast<std::size_t>(rank)];
+void Checker::add_violation(Violation v) {
+  if (v.rank_a >= 0 && v.rank_a < nranks_) {
+    ++per_rank_violations_[static_cast<std::size_t>(v.rank_a)];
   }
   if (violations_.size() < kMaxStoredViolations) {
-    violations_.push_back(std::move(text));
+    violations_.push_back(std::move(v));
   } else {
     ++suppressed_;
   }
@@ -205,8 +208,19 @@ std::uint32_t Checker::scan_and_record(int space, int owner, Rec rec) {
     const bool ordered =
         !old.in_flight && old.order_clk <= clk(observer_vc, old.rank);
     if (ordered) continue;
+    Violation viol;
+    viol.kind = "race";
+    viol.space = where(space, owner);
+    viol.rank_a = rec.rank;
+    viol.rank_b = old.rank;
+    viol.t_a = rec.t;
+    viol.t_b = old.t;
+    viol.off_a = rec.off;
+    viol.bytes_a = rec.bytes;
+    viol.off_b = old.off;
+    viol.bytes_b = old.bytes;
     std::string v = "race on ";
-    v += where(space, owner);
+    v += viol.space;
     v += ": ";
     v += to_string(rec.kind);
     v += " by rank " + std::to_string(rec.rank) + " @" + fmt_t(rec.t) +
@@ -220,7 +234,8 @@ std::uint32_t Checker::scan_and_record(int space, int owner, Rec rec) {
     v += " by rank " + std::to_string(old.rank) + " @" + fmt_t(old.t) +
          " bytes " + fmt_range(old.off, old.bytes);
     v += " — unordered in happens-before";
-    add_violation(rec.rank, std::move(v));
+    viol.text = std::move(v);
+    add_violation(std::move(viol));
     break;
   }
   if (region.recs.size() >=
@@ -273,7 +288,17 @@ CollEnter Checker::on_collective_enter(int chan, int rank, const CollSig& sig,
                   sig.root, sig.bytes, c.first_rank,
                   fmt_t(c.first_t).c_str(), c.expected.kind, c.expected.root,
                   c.expected.bytes);
-    add_violation(rank, buf);
+    Violation viol;
+    viol.kind = "collective_mismatch";
+    viol.space = c.name;
+    viol.rank_a = rank;
+    viol.rank_b = c.first_rank;
+    viol.t_a = t;
+    viol.t_b = c.first_t;
+    viol.bytes_a = sig.bytes;
+    viol.bytes_b = c.expected.bytes;
+    viol.text = buf;
+    add_violation(std::move(viol));
     out.ok = false;
     return out;
   }
@@ -361,11 +386,22 @@ PutHandles Checker::on_put(int origin, int space, int owner,
                              .regions[static_cast<std::size_t>(owner)]
                              .recs[f.idx];
       if (!prior.in_flight || prior.cls != PutClass::kData) continue;
+      Violation viol;
+      viol.kind = "signal_overtake";
+      viol.space = where(space, owner);
+      viol.rank_a = origin;
+      viol.rank_b = owner;
+      viol.t_a = t;
+      viol.t_b = prior.t;
+      viol.off_a = off;
+      viol.bytes_a = bytes;
+      viol.off_b = prior.off;
+      viol.bytes_b = prior.bytes;
       std::string v = cls == PutClass::kSignal
                           ? "sync misuse: signal put by rank "
                           : "sync misuse: put_signal by rank ";
       v += std::to_string(origin) + " @" + fmt_t(t) + " to " +
-           where(space, owner) + " may overtake unflushed data put bytes " +
+           viol.space + " may overtake unflushed data put bytes " +
            fmt_range(prior.off, prior.bytes) + " @" + fmt_t(prior.t);
       if (prior.locally_complete) {
         v += " (flush_local completed it locally only; it does not order "
@@ -373,7 +409,8 @@ PutHandles Checker::on_put(int origin, int space, int owner,
       }
       v += cls == PutClass::kSignal ? " — flush before signaling"
                                     : " — quiet before put_signal";
-      add_violation(origin, std::move(v));
+      viol.text = std::move(v);
+      add_violation(std::move(viol));
       break;  // one diagnostic per signal op, not one per pending put
     }
   }
@@ -448,12 +485,19 @@ void Checker::on_local(int rank, int space, std::uint64_t off,
                        bool unapplied_overlap, simnet::TimeUs t) {
   if (!enabled_) return;
   if (unapplied_overlap && !is_write_access) {
-    std::string v = "sync misuse: local_read by rank " + std::to_string(rank) +
-                    " @" + fmt_t(t) + " of " + where(space, rank) + " bytes " +
-                    fmt_range(off, bytes) +
-                    " overlaps an arrived but unapplied put — missing "
-                    "MPI_Win_sync / wait before reading";
-    add_violation(rank, std::move(v));
+    Violation viol;
+    viol.kind = "unapplied_read";
+    viol.space = where(space, rank);
+    viol.rank_a = rank;
+    viol.t_a = t;
+    viol.off_a = off;
+    viol.bytes_a = bytes;
+    viol.text = "sync misuse: local_read by rank " + std::to_string(rank) +
+                " @" + fmt_t(t) + " of " + viol.space + " bytes " +
+                fmt_range(off, bytes) +
+                " overlaps an arrived but unapplied put — missing "
+                "MPI_Win_sync / wait before reading";
+    add_violation(std::move(viol));
   }
   tick(rank);
   Rec rec;
@@ -563,15 +607,23 @@ void Checker::on_run_end() {
                            .regions[static_cast<std::size_t>(f.owner)]
                            .recs[f.idx];
       if (!rec.in_flight) continue;
-      std::string v = "sync misuse: put by rank " + std::to_string(origin) +
-                      " @" + fmt_t(rec.t) + " to " + where(f.space, f.owner) +
-                      " bytes " + fmt_range(rec.off, rec.bytes) +
-                      (rec.locally_complete
-                           ? " was completed only locally (flush_local is "
-                             "not remote completion)"
-                           : " was never completed") +
-                      " — missing flush/quiet/fence before finishing";
-      add_violation(origin, std::move(v));
+      Violation viol;
+      viol.kind = "missing_completion";
+      viol.space = where(f.space, f.owner);
+      viol.rank_a = origin;
+      viol.rank_b = f.owner;
+      viol.t_a = rec.t;
+      viol.off_a = rec.off;
+      viol.bytes_a = rec.bytes;
+      viol.text = "sync misuse: put by rank " + std::to_string(origin) +
+                  " @" + fmt_t(rec.t) + " to " + viol.space + " bytes " +
+                  fmt_range(rec.off, rec.bytes) +
+                  (rec.locally_complete
+                       ? " was completed only locally (flush_local is "
+                         "not remote completion)"
+                       : " was never completed") +
+                  " — missing flush/quiet/fence before finishing";
+      add_violation(std::move(viol));
     }
   }
 }
@@ -589,7 +641,7 @@ std::string Checker::report() const {
            " accesses unchecked; raise --check-history)";
   }
   for (std::size_t i = 0; i < violations_.size(); ++i) {
-    out += "\n  [" + std::to_string(i + 1) + "] " + violations_[i];
+    out += "\n  [" + std::to_string(i + 1) + "] " + violations_[i].text;
   }
   if (suppressed_ != 0) {
     out += "\n  ... " + std::to_string(suppressed_) + " more suppressed";
@@ -635,6 +687,105 @@ std::uint64_t default_check_history() {
 }
 void set_default_check_history(std::uint64_t n) {
   g_default_check_history.store(n, std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<bool> g_default_check_report{false};
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      os << '\\' << ch;
+    } else if (ch == '\n') {
+      os << "\\n";
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      os << ' ';
+    } else {
+      os << ch;
+    }
+  }
+  os << '"';
+}
+
+std::string fmt_us(simnet::TimeUs t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  return buf;
+}
+}  // namespace
+
+bool default_check_report() {
+  return g_default_check_report.load(std::memory_order_relaxed);
+}
+void set_default_check_report(bool on) {
+  g_default_check_report.store(on, std::memory_order_relaxed);
+}
+
+void write_check_report_json(const std::vector<Violation>& violations,
+                             std::ostream& os) {
+  os << "{\n  \"schema\": \"msgroof.check_report.v1\",\n"
+     << "  \"violation_count\": " << violations.size() << ",\n"
+     << "  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"kind\": ";
+    json_string(os, v.kind);
+    os << ", \"space\": ";
+    json_string(os, v.space);
+    os << ", \"rank_a\": " << v.rank_a << ", \"rank_b\": " << v.rank_b
+       << ", \"t_a_us\": " << fmt_us(v.t_a) << ", \"t_b_us\": " << fmt_us(v.t_b)
+       << ", \"off_a\": " << v.off_a << ", \"bytes_a\": " << v.bytes_a
+       << ", \"off_b\": " << v.off_b << ", \"bytes_b\": " << v.bytes_b
+       << ", \"text\": ";
+    json_string(os, v.text);
+    os << "}";
+  }
+  os << (violations.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+CheckReportRegistry& CheckReportRegistry::instance() {
+  static CheckReportRegistry* const inst = new CheckReportRegistry();
+  return *inst;
+}
+
+void CheckReportRegistry::publish(const std::vector<Violation>& violations) {
+  std::lock_guard<std::mutex> lk(mu_);
+  violations_.insert(violations_.end(), violations.begin(), violations.end());
+}
+
+void CheckReportRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  violations_.clear();
+}
+
+std::vector<Violation> CheckReportRegistry::sorted_violations() const {
+  std::vector<Violation> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = violations_;
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.kind, a.space, a.rank_a, a.rank_b, a.t_a, a.t_b, a.off_a,
+                    a.bytes_a, a.off_b, a.bytes_b, a.text) <
+           std::tie(b.kind, b.space, b.rank_a, b.rank_b, b.t_a, b.t_b, b.off_a,
+                    b.bytes_a, b.off_b, b.bytes_b, b.text);
+  });
+  return out;
+}
+
+Status CheckReportRegistry::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return Status(ErrorCode::kNotFound,
+                  "cannot open check-report path " + path);
+  }
+  write_check_report_json(sorted_violations(), f);
+  if (!f.good()) {
+    return Status(ErrorCode::kNotFound,
+                  "short write to check-report path " + path);
+  }
+  return Status::ok();
 }
 
 }  // namespace mrl::check

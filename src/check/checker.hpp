@@ -55,12 +55,15 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "simnet/time.hpp"
+#include "util/status.hpp"
 
 namespace mrl::check {
 
@@ -104,6 +107,28 @@ struct PutHandles {
 struct CollEnter {
   bool ok = true;           ///< false => signature mismatch (abort the run)
   std::uint64_t gen = 0;    ///< generation to pass to on_collective_complete
+};
+
+/// One structured checker verdict (`--check-report`, DESIGN.md §11). `text`
+/// is exactly the line report() prints; the other fields carry the same
+/// information machine-readably. Fields that do not apply to a kind hold
+/// their defaults (-1 ranks, 0 times/ranges).
+struct Violation {
+  /// "race", "collective_mismatch", "signal_overtake", "unapplied_read",
+  /// or "missing_completion".
+  std::string kind;
+  /// Region or channel the verdict is about, e.g. "win0@rank3" or
+  /// "shmem.world".
+  std::string space;
+  std::int32_t rank_a = -1;  ///< detecting/offending rank
+  std::int32_t rank_b = -1;  ///< conflicting peer rank, -1 when n/a
+  simnet::TimeUs t_a = 0;    ///< virtual time of the detecting access
+  simnet::TimeUs t_b = 0;    ///< virtual time of the conflicting access
+  std::uint64_t off_a = 0;
+  std::uint64_t bytes_a = 0;
+  std::uint64_t off_b = 0;
+  std::uint64_t bytes_b = 0;
+  std::string text;  ///< the human-readable report line
 };
 
 /// The per-engine checker. All hooks are called with the engine quiescent,
@@ -212,6 +237,11 @@ class Checker {
   [[nodiscard]] const std::vector<std::uint64_t>& violation_counts() const {
     return per_rank_violations_;
   }
+  /// Stored structured verdicts (capped at the same limit as report lines),
+  /// in detection order — deterministic across backends/jobs/schedulers.
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
   /// Full multi-line report: header + one line per violation (capped), in
   /// detection order — deterministic across backends/jobs/schedulers.
   [[nodiscard]] std::string report() const;
@@ -306,7 +336,7 @@ class Checker {
   /// returns its record index (kNoRec when the history is full).
   std::uint32_t scan_and_record(int space, int owner, Rec rec);
   [[nodiscard]] bool conflicts(const Rec& a, const Rec& b) const;
-  void add_violation(int rank, std::string text);
+  void add_violation(Violation v);
   [[nodiscard]] std::string where(int space, int owner) const;
 
   bool enabled_ = false;
@@ -319,7 +349,7 @@ class Checker {
   std::vector<Channel> channels_;
   std::vector<Wire> wires_;
   std::vector<std::vector<InFlight>> in_flight_;  ///< per origin rank
-  std::vector<std::string> violations_;
+  std::vector<Violation> violations_;
   std::vector<std::uint64_t> per_rank_violations_;
   std::uint64_t suppressed_ = 0;  ///< violations past the report cap
 };
@@ -335,5 +365,39 @@ void set_default_check(bool on);
 /// 65536). CLI/bench `--check-history N` flags override it.
 [[nodiscard]] std::uint64_t default_check_history();
 void set_default_check_history(std::uint64_t n);
+
+/// Whether engines publish their verdicts to the CheckReportRegistry at run
+/// end (initially false; the `--check-report PATH` flag flips it on along
+/// with the checker itself).
+[[nodiscard]] bool default_check_report();
+void set_default_check_report(bool on);
+
+/// Machine-readable JSON for a verdict list: schema tag
+/// "msgroof.check_report.v1", a violation count, and one object per verdict
+/// with every Violation field (times in microseconds, fixed 3-decimal
+/// format). Schema-stable and test-pinned.
+void write_check_report_json(const std::vector<Violation>& violations,
+                             std::ostream& os);
+
+/// Process-wide collection of every published run's verdicts, for the
+/// `--check-report PATH` dump. Publishes arrive in nondeterministic order
+/// under parallel sweeps, so the dump sorts violations lexicographically by
+/// their full field tuple — the bytes are independent of backend, scheduler
+/// and --jobs, like the metrics registry.
+class CheckReportRegistry {
+ public:
+  static CheckReportRegistry& instance();
+
+  void publish(const std::vector<Violation>& violations);
+  void reset();
+  [[nodiscard]] std::vector<Violation> sorted_violations() const;
+  Status write_json(const std::string& path) const;
+
+ private:
+  CheckReportRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Violation> violations_;
+};
 
 }  // namespace mrl::check

@@ -48,7 +48,8 @@ Request Comm::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
     }
     eng.record_msg(simnet::MsgRecord{rank(), dst, bytes, rank_->now(),
                                      m.arrival_us, simnet::OpKind::kSend,
-                                     rank_->epoch(), tr.drops});
+                                     rank_->epoch(), tr.drops, tr.queue_us,
+                                     tr.ser_us, tr.dlink});
     // Happens-before edge: the sender's clock snapshot rides with the
     // message, keyed by the per-pair FIFO seq (matching can be tag-filtered
     // and consume out of FIFO order, so the join is seq-keyed too).
@@ -144,7 +145,12 @@ void Comm::wait(Request& req) {
     case Request::Kind::kSend:
       if (!req.done_) {
         if (req.send_complete_us > rank_->now()) {
-          rank_->advance(req.send_complete_us - rank_->now());
+          // Draining the injection pipe is pure sender-side serialization.
+          const simnet::TimeUs t0 = rank_->now();
+          rank_->advance(req.send_complete_us - t0);
+          world_->engine_.record_advance_span(
+              *rank_, simnet::SpanKind::kSendDrain, t0, -1, 0, /*q_us=*/0,
+              /*s_us=*/req.send_complete_us - t0);
         }
         req.done_ = true;
       }

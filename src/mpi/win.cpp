@@ -69,8 +69,9 @@ void Win::put(Comm& c, const void* origin, std::uint64_t bytes, int target,
     outstanding_[static_cast<std::size_t>(c.rank())].push_back(
         Outstanding{target, arrival, res.inject_free_us});
     eng.record_msg(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
-                                     arrival, kind,
-                                     c.rank_ctx().epoch(), res.drops});
+                                     arrival, kind, c.rank_ctx().epoch(),
+                                     res.drops, res.queue_us, res.ser_us,
+                                     res.dlink});
   });
 }
 
@@ -80,7 +81,10 @@ void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
   const simnet::LogGP& pp = c.rma_params();
   c.rank_ctx().advance(pp.o_us);
   auto& eng = world_->engine_;
+  const simnet::TimeUs t0 = c.now();
   double total_us = 0;
+  double q_us = 0;
+  double s_us = 0;
   eng.perform(c.rank_ctx(), [&] {
     const Region& tr = region_[static_cast<std::size_t>(target)];
     MRL_CHECK_MSG(tr.base != nullptr, "get from unexposed window region");
@@ -97,8 +101,11 @@ void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
     const simnet::RoundTripFault rtf = eng.fabric().sample_round_trip(
         c.rank_ctx().endpoint(),
         eng.platform().endpoint_of_rank(target, c.size()), c.now());
-    total_us = pp.L_us + rtt + ser + rtf.extra_us +
-               eng.fabric().faults().backoff_us(rtf.drops);
+    // Decomposition: fault stalls + retry backoff count as queueing, the
+    // payload stream-in as serialization; the L + RTT remainder is latency.
+    q_us = rtf.extra_us + eng.fabric().faults().backoff_us(rtf.drops);
+    s_us = ser;
+    total_us = pp.L_us + rtt + ser + q_us;
     // Reads current contents: arrived-but-unapplied puts are not visible,
     // matching our separate-memory RMA model.
     std::memcpy(dest, tr.base + target_off, bytes);
@@ -109,18 +116,21 @@ void Win::get(Comm& c, void* dest, std::uint64_t bytes, int target,
     // Gets keep their historical kPut trace encoding (changing it would
     // change every existing trace byte); is_get reclassifies for metrics.
     eng.record_msg(simnet::MsgRecord{c.rank(), target, bytes, c.now(),
-                                     c.now() + total_us,
-                                     simnet::OpKind::kPut,
-                                     c.rank_ctx().epoch(), rtf.drops},
+                                     c.now() + total_us, simnet::OpKind::kPut,
+                                     c.rank_ctx().epoch(), rtf.drops, q_us,
+                                     s_us, -1},
                    /*is_get=*/true);
   });
   c.rank_ctx().advance(total_us);
+  eng.record_advance_span(c.rank_ctx(), simnet::SpanKind::kGet, t0, target,
+                          bytes, q_us, s_us);
 }
 
 void Win::flush(Comm& c, int target) {
   const simnet::LogGP& pp = c.rma_params();
   c.rank_ctx().advance(pp.o_us);
   auto& eng = world_->engine_;
+  const simnet::TimeUs t0 = c.now();
   eng.perform(c.rank_ctx(), [&] {
     auto& outs = outstanding_[static_cast<std::size_t>(c.rank())];
     simnet::TimeUs done = c.now();
@@ -136,6 +146,8 @@ void Win::flush(Comm& c, int target) {
       chk.on_flush(c.rank(), chk_space_, target);
     }
   });
+  eng.record_advance_span(c.rank_ctx(), simnet::SpanKind::kFlush, t0, target,
+                          0);
   c.rank_ctx().bump_epoch();
 }
 
@@ -145,6 +157,7 @@ void Win::flush_local(Comm& c, int target) {
   const simnet::LogGP& pp = c.rma_params();
   c.rank_ctx().advance(pp.o_us);
   auto& eng = world_->engine_;
+  const simnet::TimeUs t0 = c.now();
   eng.perform(c.rank_ctx(), [&] {
     simnet::TimeUs done = c.now();
     for (const Outstanding& o :
@@ -158,6 +171,8 @@ void Win::flush_local(Comm& c, int target) {
       chk.on_flush_local(c.rank(), chk_space_, target);
     }
   });
+  eng.record_advance_span(c.rank_ctx(), simnet::SpanKind::kFlush, t0, target,
+                          0);
   // No bump_epoch: flush_local is not remote completion, so puts stay in
   // the current outstanding epoch and flush/fence still owe their waits.
 }
@@ -229,7 +244,10 @@ std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
   c.rank_ctx().advance(pp.atomic_o());
   auto& eng = world_->engine_;
   std::uint64_t old = 0;
+  const simnet::TimeUs t0 = c.now();
   double total_us = 0;
+  double q_us = 0;
+  double s_us = 0;
   eng.perform(c.rank_ctx(), [&] {
     const Region& tr = region_[static_cast<std::size_t>(target)];
     MRL_CHECK_MSG(tr.base != nullptr, "atomic on unexposed window region");
@@ -271,14 +289,22 @@ std::uint64_t Win::atomic_rmw(Comm& c, int target, std::uint64_t target_off,
     // already paid its retransmit timeout inside transfer(); the origin
     // additionally backs off exponentially before re-issuing.
     const int drops = r1.drops + r2.drops;
-    total_us = r2.arrival_us - c.now() +
-               eng.fabric().faults().backoff_us(drops);
+    const double backoff = eng.fabric().faults().backoff_us(drops);
+    total_us = r2.arrival_us - c.now() + backoff;
+    // Decomposition over both legs; the dominant-queueing leg names the link.
+    q_us = r1.queue_us + r2.queue_us + backoff;
+    s_us = r1.ser_us + r2.ser_us;
+    const std::int32_t dlink =
+        r1.queue_us >= r2.queue_us ? r1.dlink : r2.dlink;
     eng.record_msg(simnet::MsgRecord{c.rank(), target, 8, c.now(),
                                      c.now() + total_us,
                                      simnet::OpKind::kAtomic,
-                                     c.rank_ctx().epoch(), drops});
+                                     c.rank_ctx().epoch(), drops, q_us, s_us,
+                                     dlink});
   });
   c.rank_ctx().advance(total_us);
+  eng.record_advance_span(c.rank_ctx(), simnet::SpanKind::kAtomic, t0, target,
+                          8, q_us, s_us);
   return old;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "runtime/profiler.hpp"
 #include "util/log.hpp"
 
 namespace mrl::runtime {
@@ -14,6 +15,8 @@ std::atomic<SchedulerKind> g_default_scheduler{SchedulerKind::kIndexedHeap};
 std::atomic<double> g_default_watchdog_virtual_us{1e9};
 std::atomic<std::size_t> g_default_fiber_stack_bytes{256 * 1024};
 std::atomic<bool> g_default_stack_pool{true};
+std::atomic<bool> g_default_trace{false};
+std::atomic<bool> g_default_spans{false};
 
 }  // namespace
 
@@ -69,6 +72,18 @@ void set_default_stack_pool(bool on) {
   g_default_stack_pool.store(on, std::memory_order_relaxed);
 }
 
+bool default_trace() { return g_default_trace.load(std::memory_order_relaxed); }
+
+void set_default_trace(bool on) {
+  g_default_trace.store(on, std::memory_order_relaxed);
+}
+
+bool default_spans() { return g_default_spans.load(std::memory_order_relaxed); }
+
+void set_default_spans(bool on) {
+  g_default_spans.store(on, std::memory_order_relaxed);
+}
+
 Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
     : platform_(std::move(platform)), nranks_(nranks), opt_(opt) {
   MRL_CHECK(nranks_ >= 1);
@@ -79,6 +94,7 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
   }
   fabric_ = platform_.make_fabric();
   trace_.set_enabled(opt_.trace);
+  spans_.set_enabled(opt_.spans);
   metrics_.set_enabled(opt_.metrics);
   checker_.set_enabled(opt_.check);
   checker_.set_history_limit(opt_.check_history);
@@ -99,6 +115,11 @@ Engine::Engine(simnet::Platform platform, int nranks, EngineOptions opt)
   rank_slot_.resize(n, kSlotNone);
   rank_cond_.resize(n, nullptr);
   rank_what_.resize(n, "");
+  if (opt_.spans) {
+    rank_cause_rank_.resize(n, -1);
+    rank_cause_t_.resize(n, 0);
+    rank_cause_nspans_.resize(n, 0);
+  }
 }
 
 Engine::~Engine() {
@@ -144,6 +165,11 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
       }
     }
     checker_verdict = res.status.code() == ErrorCode::kFailedPrecondition;
+    if (check::default_check_report() && !checker_.violations().empty()) {
+      // The registry sorts at dump time, so the nondeterministic publish
+      // order under parallel sweeps cannot perturb the exported JSON bytes.
+      check::CheckReportRegistry::instance().publish(checker_.violations());
+    }
     const auto& counts = checker_.violation_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
       if (counts[i] != 0) {
@@ -158,6 +184,12 @@ RunResult Engine::run(const std::function<void(Rank&)>& body) {
     // the simulation itself completed, and the CSV is where the violations
     // counter family lands.
     MetricsRegistry::instance().publish(metrics_report());
+  }
+  if (opt_.spans && (res.ok() || checker_verdict)) {
+    // Same gating as the metrics publish: the simulation completed (possibly
+    // with a checker verdict), so its trace/spans are a coherent run the
+    // profiler may select (DESIGN.md §14).
+    ProfileCapture::instance().offer(*this, res);
   }
   return res;
 }
@@ -207,6 +239,12 @@ std::vector<std::size_t> Engine::stack_high_water_bytes() const {
 void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   if (opt_.reset_fabric_each_run) fabric_->reset();
   trace_.clear();
+  if (opt_.spans) {
+    spans_.reset(nranks_);
+    std::fill(rank_cause_rank_.begin(), rank_cause_rank_.end(), -1);
+    std::fill(rank_cause_t_.begin(), rank_cause_t_.end(), simnet::TimeUs{0});
+    std::fill(rank_cause_nspans_.begin(), rank_cause_nspans_.end(), 0u);
+  }
   metrics_.reset(nranks_);
   if (checker_.enabled()) checker_.reset(nranks_);
   const bool heap = opt_.scheduler == SchedulerKind::kIndexedHeap;
@@ -240,6 +278,7 @@ void Engine::reset_run_state_locked(const std::function<void(Rank&)>& body) {
   gate_index_.clear();
   gated_count_ = 0;
   granted_ = -1;
+  finalize_rank_ = -1;
   done_count_ = 0;
   abort_ = false;
   abort_code_ = ErrorCode::kDeadlock;
@@ -338,6 +377,47 @@ int Engine::pick_min_ready_locked() const {
   return best;
 }
 
+void Engine::append_span_tails_locked(std::ostringstream& os) const {
+  // Terminal diagnostics only (deadlock/watchdog): the tail of each stuck
+  // rank's timeline, so hangs are diagnosable without a separate trace run.
+  // One backward scan over the global span store; bounded rank/span counts
+  // keep the report readable at 100k+ ranks.
+  if (!opt_.spans) return;
+  constexpr std::size_t kMaxRanks = 8;
+  constexpr std::size_t kMaxSpans = 4;
+  std::vector<int> stuck;
+  for (int i = 0; i < nranks_ && stuck.size() < kMaxRanks; ++i) {
+    if (rank_state_[static_cast<std::size_t>(i)] == RankState::kBlocked) {
+      stuck.push_back(i);
+    }
+  }
+  if (stuck.empty()) return;
+  const simnet::SpanStore& st = spans_.records();
+  std::vector<std::vector<simnet::SpanRecord>> tails(stuck.size());
+  std::size_t filled = 0;
+  for (std::size_t j = st.size(); j > 0 && filled < stuck.size(); --j) {
+    const simnet::SpanRecord& sp = st[j - 1];
+    for (std::size_t k = 0; k < stuck.size(); ++k) {
+      if (sp.rank != stuck[k] || tails[k].size() >= kMaxSpans) continue;
+      tails[k].push_back(sp);
+      if (tails[k].size() == kMaxSpans) ++filled;
+      break;
+    }
+  }
+  os << " recent spans:";
+  for (std::size_t k = 0; k < stuck.size(); ++k) {
+    os << " rank " << stuck[k] << " [";
+    for (std::size_t i = tails[k].size(); i > 0; --i) {  // oldest first
+      const simnet::SpanRecord& sp = tails[k][i - 1];
+      os << to_string(sp.kind) << " " << sp.t_begin << ".." << sp.t_end
+         << "us";
+      if (sp.peer >= 0) os << " peer " << sp.peer;
+      if (i > 1) os << ", ";
+    }
+    os << "];";
+  }
+}
+
 void Engine::note_deadlock_locked() {
   std::ostringstream os;
   os << "deadlock: all live ranks are blocked —";
@@ -359,6 +439,7 @@ void Engine::note_deadlock_locked() {
     }
   }
   if (checker_.enabled()) os << checker_.deadlock_note();
+  append_span_tails_locked(os);
   abort_ = true;
   abort_reason_ = os.str();
   MRL_LOG_ERROR("%s", abort_reason_.c_str());
@@ -397,6 +478,7 @@ void Engine::wake_satisfied_locked() {
       MRL_CHECK(rank_cond_[s] != nullptr);
       if (auto w = (*rank_cond_[s])()) {
         rank_wake_[s] = std::max(rank_clock_[s], *w);
+        note_wake_cause_locked(s);
         set_state_locked(id, RankState::kReady);
       } else {
         ++i;
@@ -412,6 +494,7 @@ void Engine::wake_satisfied_locked() {
     MRL_CHECK(rank_cond_[s] != nullptr);
     if (auto w = (*rank_cond_[s])()) {
       rank_wake_[s] = std::max(rank_clock_[s], *w);
+      note_wake_cause_locked(s);
       set_state_locked(id, RankState::kReady);
     }
   }
@@ -450,6 +533,7 @@ void Engine::wake_gated_locked() {
       MRL_CHECK(rank_cond_[s] != nullptr);
       if (const auto w = (*rank_cond_[s])()) {
         rank_wake_[s] = std::max(rank_clock_[s], *w);
+        note_wake_cause_locked(s);
         set_state_locked(id, RankState::kReady);
       } else {
         // Counter crossed but the condition is still unsatisfiable — e.g. a
@@ -514,6 +598,7 @@ void Engine::check_watchdog_locked(const Rank& r) {
     os << ";";
   }
   if (checker_.enabled()) os << checker_.deadlock_note();
+  append_span_tails_locked(os);
   abort_ = true;
   abort_code_ = ErrorCode::kTimeout;
   abort_reason_ = os.str();
@@ -551,9 +636,14 @@ void Engine::wait(Rank& r, const char* what,
                   const std::function<void()>& finalize, WaitGate gate) {
   // Blocked duration is measured in virtual time (the rank clock), so it is
   // identical across backends and job counts by construction.
-  const simnet::TimeUs t0 = rank_clock_[static_cast<std::size_t>(r.id_)];
+  const auto s = static_cast<std::size_t>(r.id_);
+  const simnet::TimeUs t0 = rank_clock_[s];
   r.last_wait_what_ = what;
   r.last_wait_t_ = t0;
+  // Captured before the linear-scan zeroing below: the span's gate field
+  // must not depend on the scheduler (byte-identity contract).
+  const std::uint64_t gate_thr = gate.counter != nullptr ? gate.threshold : 0;
+  if (opt_.spans) rank_cause_rank_[s] = -1;
   // The linear-scan scheduler ignores gates: it brute-force re-evaluates
   // every blocked condition, which is exactly the oracle the cross-scheduler
   // identity tests compare the gated path against.
@@ -563,8 +653,23 @@ void Engine::wait(Rank& r, const char* what,
   } else {
     thread_wait(r, what, cond, finalize, gate);
   }
-  metrics_.on_wait(r.id_,
-                   rank_clock_[static_cast<std::size_t>(r.id_)] - t0);
+  if (opt_.spans) {
+    // Causeless when the condition was satisfiable at entry (the rank never
+    // parked, though virtual time may still have advanced to the wake time).
+    simnet::SpanRecord sp;
+    sp.rank = r.id_;
+    sp.kind = simnet::span_kind_from_wait_label(what);
+    sp.t_begin = t0;
+    sp.t_end = rank_clock_[s];
+    sp.gate = gate_thr;
+    if (rank_cause_rank_[s] >= 0) {
+      sp.peer = rank_cause_rank_[s];
+      sp.cause_t = rank_cause_t_[s];
+      sp.cause_nspans = rank_cause_nspans_[s];
+    }
+    spans_.record(sp);
+  }
+  metrics_.on_wait(r.id_, rank_clock_[s] - t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -719,8 +824,10 @@ void Engine::thread_wait(Rank& r, const char* what,
                     "wait condition became unsatisfiable (must be monotonic)");
       rank_clock_[s] = std::max(rank_clock_[s], *w2);
       if (finalize) {
+        finalize_rank_ = id;
         finalize();
         wake_satisfied_locked();
+        finalize_rank_ = -1;
       }
       return;
     }
@@ -914,8 +1021,10 @@ void Engine::fiber_wait(Rank& r, const char* what,
                     "wait condition became unsatisfiable (must be monotonic)");
       rank_clock_[s] = std::max(rank_clock_[s], *w2);
       if (finalize) {
+        finalize_rank_ = id;
         finalize();
         wake_satisfied_locked();
+        finalize_rank_ = -1;
       }
       return;
     }

@@ -70,6 +70,7 @@
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -81,6 +82,7 @@
 #include "runtime/metrics.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/platform.hpp"
+#include "simnet/spans.hpp"
 #include "simnet/time.hpp"
 #include "simnet/trace.hpp"
 #include "util/indexed_heap.hpp"
@@ -136,6 +138,18 @@ void set_default_fiber_stack_bytes(std::size_t bytes);
 /// restores mmap-per-fiber with optional guard pages.
 [[nodiscard]] bool default_stack_pool();
 void set_default_stack_pool(bool on);
+
+/// Process-wide default for EngineOptions::trace (initially false; workloads
+/// that derive summaries from the trace force it on per-engine regardless).
+/// The CLI/bench `--trace`/`--profile` flags flip it so engines constructed
+/// outside the workload wrappers also record.
+[[nodiscard]] bool default_trace();
+void set_default_trace(bool on);
+
+/// Process-wide default for EngineOptions::spans (initially false). The
+/// CLI/bench `--trace`/`--profile` flags flip it on (DESIGN.md §14).
+[[nodiscard]] bool default_spans();
+void set_default_spans(bool on);
 
 /// Optional re-evaluation hint for Engine::wait (DESIGN.md §10, §12).
 /// `counter` points at a monotonically nondecreasing std::uint64_t (e.g. a
@@ -217,7 +231,12 @@ class Rank {
 };
 
 struct EngineOptions {
-  bool trace = false;                ///< record every message
+  bool trace = default_trace();      ///< record every message
+  /// Record per-rank execution spans (simnet/spans.hpp, DESIGN.md §14) for
+  /// the profiler and critical-path analyzer. Like metrics: off by default,
+  /// one branch per hook when disabled, and never perturbs simulated time —
+  /// enabling it leaves every CSV byte-identical.
+  bool spans = default_spans();
   bool reset_fabric_each_run = true; ///< clear contention state per run()
   /// Virtual-time progress watchdog: when a rank's clock passes this limit
   /// at a communication operation (perform/wait), the run is converted into
@@ -287,6 +306,8 @@ class Engine {
   [[nodiscard]] SchedulerKind scheduler() const { return opt_.scheduler; }
   [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] simnet::Trace& trace() { return trace_; }
+  [[nodiscard]] simnet::Spans& spans() { return spans_; }
+  [[nodiscard]] const simnet::Spans& spans() const { return spans_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] check::Checker& checker() { return checker_; }
@@ -298,6 +319,27 @@ class Engine {
   void record_msg(const simnet::MsgRecord& rec, bool is_get = false) {
     trace_.record(rec);
     metrics_.on_msg(rec, is_get);
+  }
+
+  /// Records one blocking-advance execution span (DESIGN.md §14): the rank's
+  /// clock advanced from `t0` to now inside a communication round trip or
+  /// drain (get/atomic/flush/quiet/send-drain) without parking in the
+  /// engine. `q_us`/`s_us` carry the fabric's queueing/serialization share
+  /// of the interval; the remainder is latency. No-op unless spans are on.
+  void record_advance_span(Rank& r, simnet::SpanKind kind, simnet::TimeUs t0,
+                           int peer, std::uint64_t bytes, double q_us = 0,
+                           double s_us = 0) {
+    if (!opt_.spans) return;
+    simnet::SpanRecord sp;
+    sp.rank = r.id();
+    sp.peer = peer;
+    sp.kind = kind;
+    sp.t_begin = t0;
+    sp.t_end = r.now();
+    sp.bytes = bytes;
+    sp.q_us = q_us;
+    sp.s_us = s_us;
+    spans_.record(sp);
   }
 
   /// Snapshot of the last completed run: per-rank counters/histograms,
@@ -359,6 +401,22 @@ class Engine {
   RunResult collect_result_locked();
   void set_state_locked(int id, RankState s);
   [[nodiscard]] int pick_min_ready_locked() const;
+  /// Records the causal edge for a wait about to be re-queued: the satisfier
+  /// is the rank currently holding the baton (granted_ — the perform or
+  /// finalize that made the condition satisfiable).
+  void note_wake_cause_locked(std::size_t waiter) {
+    if (!opt_.spans) return;
+    rank_cause_rank_[waiter] = granted_;
+    rank_cause_t_[waiter] = rank_clock_[static_cast<std::size_t>(granted_)];
+    // A satisfier inside a wait finalize has its own wait span still pending
+    // (recorded after the finalize returns): count it, so the backward walk
+    // resumes past that span instead of mistaking it for compute.
+    rank_cause_nspans_[waiter] =
+        spans_.rank_count(granted_) + (finalize_rank_ == granted_ ? 1u : 0u);
+  }
+  /// Appends the last few recorded spans of the first few blocked ranks to a
+  /// deadlock/watchdog report (spans enabled only; terminal path).
+  void append_span_tails_locked(std::ostringstream& os) const;
   void note_deadlock_locked();
   void note_body_error_locked(int id, const char* what);
   void wake_satisfied_locked();
@@ -399,6 +457,7 @@ class Engine {
   EngineOptions opt_;
   std::unique_ptr<simnet::Fabric> fabric_;
   simnet::Trace trace_;
+  simnet::Spans spans_;
   Metrics metrics_;
   check::Checker checker_;
 
@@ -416,6 +475,13 @@ class Engine {
   std::vector<std::int32_t> rank_slot_;
   std::vector<const std::function<std::optional<double>()>*> rank_cond_;
   std::vector<const char*> rank_what_;  ///< wait label for deadlock reports
+  /// Causal wake edge per rank (spans enabled only, else unsized): who
+  /// satisfied this rank's current wait, at what virtual time, and how many
+  /// of the satisfier's spans preceded the action (SpanRecord::cause_*).
+  /// Reset to -1 at each wait entry; written at re-queue time.
+  std::vector<std::int32_t> rank_cause_rank_;
+  std::vector<simnet::TimeUs> rank_cause_t_;
+  std::vector<std::uint32_t> rank_cause_nspans_;
 
   /// run() in progress (reentrancy guard; atomic so a concurrent run()
   /// attempt from another thread is also rejected instead of racing).
@@ -464,6 +530,9 @@ class Engine {
   std::unordered_map<const std::uint64_t*, std::size_t> gate_index_;
   int gated_count_ = 0;
   int granted_ = -1;
+  /// Rank currently executing a wait-finalize (engine quiescent; -1 outside
+  /// finalizes). Only read by note_wake_cause_locked, see there.
+  int finalize_rank_ = -1;
   int done_count_ = 0;
   bool abort_ = false;
   ErrorCode abort_code_ = ErrorCode::kDeadlock;

@@ -1,0 +1,189 @@
+#include "runtime/profiler.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "runtime/engine.hpp"
+#include "simnet/critpath.hpp"
+#include "simnet/topology.hpp"
+#include "util/log.hpp"
+
+namespace mrl::runtime {
+
+namespace {
+
+std::mutex g_trace_ranks_mu;
+TraceRanks g_trace_ranks;
+
+std::uint64_t pico(double us) {
+  return static_cast<std::uint64_t>(std::llround(us * 1e6));
+}
+
+simnet::RunCapture build_capture(Engine& e, const RunResult& res) {
+  simnet::RunCapture c;
+  c.nranks = e.nranks();
+  c.makespan_us = res.makespan_us;
+  c.rank_end_us = res.rank_end_us;
+  c.msgs = e.trace().records();
+  c.spans = e.spans().records();
+  const simnet::Topology& topo = e.fabric().topology();
+  c.dlink_names.reserve(static_cast<std::size_t>(topo.num_links()) * 2);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    for (int dir = 0; dir < 2; ++dir) {
+      c.dlink_names.push_back(topo.link(l).name + (dir != 0 ? "/1" : "/0"));
+    }
+  }
+  return c;
+}
+
+template <typename T>
+int cmp3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+int cmp_msgs(const simnet::RecordStore& a, const simnet::RecordStore& b) {
+  if (int c = cmp3(a.size(), b.size())) return c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const simnet::MsgRecord& x = a[i];
+    const simnet::MsgRecord& y = b[i];
+    if (int c = cmp3(x.src_rank, y.src_rank)) return c;
+    if (int c = cmp3(x.dst_rank, y.dst_rank)) return c;
+    if (int c = cmp3(x.bytes, y.bytes)) return c;
+    if (int c = cmp3(static_cast<int>(x.kind), static_cast<int>(y.kind)))
+      return c;
+    if (int c = cmp3(x.epoch, y.epoch)) return c;
+    if (int c = cmp3(x.t_issue, y.t_issue)) return c;
+    if (int c = cmp3(x.t_arrival, y.t_arrival)) return c;
+    if (int c = cmp3(x.drops, y.drops)) return c;
+    if (int c = cmp3(x.q_us, y.q_us)) return c;
+    if (int c = cmp3(x.s_us, y.s_us)) return c;
+    if (int c = cmp3(x.dlink, y.dlink)) return c;
+  }
+  return 0;
+}
+
+int cmp_spans(const simnet::SpanStore& a, const simnet::SpanStore& b) {
+  if (int c = cmp3(a.size(), b.size())) return c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const simnet::SpanRecord& x = a[i];
+    const simnet::SpanRecord& y = b[i];
+    if (int c = cmp3(x.rank, y.rank)) return c;
+    if (int c = cmp3(x.peer, y.peer)) return c;
+    if (int c = cmp3(static_cast<int>(x.kind), static_cast<int>(y.kind)))
+      return c;
+    if (int c = cmp3(x.t_begin, y.t_begin)) return c;
+    if (int c = cmp3(x.t_end, y.t_end)) return c;
+    if (int c = cmp3(x.cause_t, y.cause_t)) return c;
+    if (int c = cmp3(x.cause_nspans, y.cause_nspans)) return c;
+    if (int c = cmp3(x.bytes, y.bytes)) return c;
+    if (int c = cmp3(x.gate, y.gate)) return c;
+    if (int c = cmp3(x.q_us, y.q_us)) return c;
+    if (int c = cmp3(x.s_us, y.s_us)) return c;
+  }
+  return 0;
+}
+
+/// Total order over captures with equal keys, so the winner is independent
+/// of the (nondeterministic) order offers arrive in under --jobs N.
+int cmp_capture(const simnet::RunCapture& a, const simnet::RunCapture& b) {
+  if (int c = cmp3(a.nranks, b.nranks)) return c;
+  if (int c = cmp3(a.makespan_us, b.makespan_us)) return c;
+  if (int c = cmp3(a.rank_end_us, b.rank_end_us)) return c;
+  if (int c = cmp_msgs(a.msgs, b.msgs)) return c;
+  if (int c = cmp_spans(a.spans, b.spans)) return c;
+  return cmp3(a.dlink_names, b.dlink_names);
+}
+
+}  // namespace
+
+TraceRanks default_trace_ranks() {
+  std::lock_guard<std::mutex> lk(g_trace_ranks_mu);
+  return g_trace_ranks;
+}
+
+void set_default_trace_ranks(TraceRanks r) {
+  std::lock_guard<std::mutex> lk(g_trace_ranks_mu);
+  g_trace_ranks = r;
+}
+
+ProfileCapture& ProfileCapture::instance() {
+  static ProfileCapture* const inst = new ProfileCapture();
+  return *inst;
+}
+
+void ProfileCapture::offer(Engine& e, const RunResult& res) {
+  const std::array<std::uint64_t, 4> key{
+      pico(res.makespan_us), static_cast<std::uint64_t>(e.nranks()),
+      static_cast<std::uint64_t>(e.spans().records().size()),
+      static_cast<std::uint64_t>(e.trace().records().size())};
+  std::lock_guard<std::mutex> lk(mu_);
+  if (has_ && key < key_) return;
+  if (has_ && key == key_) {
+    // Exact key tie: keep the elementwise-smaller capture. Ties are rare
+    // (identical-makespan grid points), so materializing the candidate here
+    // is fine; what matters is that the outcome is order-independent.
+    simnet::RunCapture cand = build_capture(e, res);
+    if (cmp_capture(cand, cap_) < 0) cap_ = std::move(cand);
+    return;
+  }
+  cap_ = build_capture(e, res);
+  key_ = key;
+  has_ = true;
+}
+
+bool ProfileCapture::has_capture() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return has_;
+}
+
+simnet::RunCapture ProfileCapture::capture() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cap_;
+}
+
+void ProfileCapture::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  has_ = false;
+  key_ = {};
+  cap_ = simnet::RunCapture{};
+}
+
+bool dump_captured_trace(const std::string& path, const std::string& format) {
+  if (!ProfileCapture::instance().has_capture()) {
+    MRL_LOG_WARN("--trace: no spans-enabled run completed; nothing to write");
+    return false;
+  }
+  const simnet::RunCapture cap = ProfileCapture::instance().capture();
+  const TraceRanks tr = default_trace_ranks();
+  if (format == "csv") {
+    return export_trace_csv(cap, path, tr.lo, tr.hi);
+  }
+  return export_capture_chrome(cap, path, tr.lo, tr.hi);
+}
+
+bool dump_captured_profile(const std::string& path) {
+  if (!ProfileCapture::instance().has_capture()) {
+    MRL_LOG_WARN("--profile: no spans-enabled run completed; nothing to write");
+    return false;
+  }
+  const simnet::RunCapture cap = ProfileCapture::instance().capture();
+  simnet::CritPathInput in;
+  in.nranks = cap.nranks;
+  in.msgs = &cap.msgs;
+  in.spans = &cap.spans;
+  in.rank_end_us = &cap.rank_end_us;
+  in.dlink_names = &cap.dlink_names;
+  const simnet::CritPathReport rep = simnet::analyze_critical_path(in);
+  std::ofstream f(path);
+  if (!f) {
+    MRL_LOG_WARN("cannot open %s", path.c_str());
+    return false;
+  }
+  f << rep.text;
+  return f.good();
+}
+
+}  // namespace mrl::runtime

@@ -159,7 +159,7 @@ void Ctx::put_bytes_nbi(std::uint64_t dest_off, const void* src,
     eng.record_msg(simnet::MsgRecord{
         pe(), target_pe, bytes, rank_->now(), arrival,
         has_signal ? simnet::OpKind::kPutSignal : simnet::OpKind::kPut,
-        rank_->epoch(), tr.drops});
+        rank_->epoch(), tr.drops, tr.queue_us, tr.ser_us, tr.dlink});
   });
 }
 
@@ -169,7 +169,10 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
   const simnet::LogGP& pp = params();
   rank_->advance(pp.o_us);
   auto& eng = world_->engine_;
+  const simnet::TimeUs t0 = rank_->now();
   double total_us = 0;
+  double q_us = 0;
+  double s_us = 0;
   eng.perform(*rank_, [&] {
     const double rtt = eng.platform().hw_rtt_us(pe(), target_pe, n_pes());
     const double bw = eng.platform().pair_peak_gbs(pe(), target_pe, n_pes());
@@ -178,9 +181,9 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
     const simnet::RoundTripFault rtf = eng.fabric().sample_round_trip(
         rank_->endpoint(), eng.platform().endpoint_of_rank(target_pe, n_pes()),
         rank_->now());
-    total_us = pp.L_us + rtt +
-               static_cast<double>(bytes) * gbs_to_us_per_byte(bw) +
-               rtf.extra_us + eng.fabric().faults().backoff_us(rtf.drops);
+    q_us = rtf.extra_us + eng.fabric().faults().backoff_us(rtf.drops);
+    s_us = static_cast<double>(bytes) * gbs_to_us_per_byte(bw);
+    total_us = pp.L_us + rtt + s_us + q_us;
     std::memcpy(
         dest,
         world_->heap_[static_cast<std::size_t>(target_pe)].data() + src_off,
@@ -196,6 +199,8 @@ void Ctx::get_bytes(void* dest, std::uint64_t src_off, std::uint64_t bytes,
   // SHMEM gets were never traced (and adding a record would change existing
   // trace/CSV bytes), so they are counted through the metrics-only hook.
   eng.metrics().on_get(pe(), bytes);
+  eng.record_advance_span(*rank_, simnet::SpanKind::kGet, t0, target_pe,
+                          bytes, q_us, s_us);
 }
 
 void Ctx::wait_local(const char* what, const std::function<bool()>& pred) {
@@ -285,6 +290,7 @@ void Ctx::quiet() {
   const simnet::LogGP& pp = params();
   rank_->advance(pp.o_us);
   auto& eng = world_->engine_;
+  const simnet::TimeUs t0 = rank_->now();
   eng.perform(*rank_, [&] {
     auto& outs = world_->outstanding_[static_cast<std::size_t>(pe())];
     simnet::TimeUs done = rank_->now();
@@ -298,6 +304,7 @@ void Ctx::quiet() {
       chk.on_flush(pe(), world_->chk_space_, /*target=*/-1);
     }
   });
+  eng.record_advance_span(*rank_, simnet::SpanKind::kQuiet, t0, -1, 0);
   rank_->bump_epoch();
 }
 
@@ -309,7 +316,10 @@ std::uint64_t Ctx::atomic_rmw(std::uint64_t target_off, std::uint64_t operand,
   rank_->advance(pp.atomic_o());
   auto& eng = world_->engine_;
   std::uint64_t old = 0;
+  const simnet::TimeUs t0 = rank_->now();
   double total_us = 0;
+  double q_us = 0;
+  double s_us = 0;
   eng.perform(*rank_, [&] {
     MRL_CHECK(target_off + 8 <= world_->opt_.heap_bytes);
     auto* p = reinterpret_cast<std::uint64_t*>(
@@ -347,14 +357,21 @@ std::uint64_t Ctx::atomic_rmw(std::uint64_t target_off, std::uint64_t operand,
     // Retry-with-backoff accounting: dropped attempts paid their retransmit
     // timeouts inside transfer(); the origin also backs off exponentially.
     const int drops = r1.drops + r2.drops;
-    total_us = r2.arrival_us - rank_->now() +
-               eng.fabric().faults().backoff_us(drops);
+    const double backoff = eng.fabric().faults().backoff_us(drops);
+    total_us = r2.arrival_us - rank_->now() + backoff;
+    // Decomposition over both legs; the dominant-queueing leg names the link.
+    q_us = r1.queue_us + r2.queue_us + backoff;
+    s_us = r1.ser_us + r2.ser_us;
+    const std::int32_t dlink =
+        r1.queue_us >= r2.queue_us ? r1.dlink : r2.dlink;
     eng.record_msg(simnet::MsgRecord{pe(), target_pe, 8, rank_->now(),
                                      rank_->now() + total_us,
-                                     simnet::OpKind::kAtomic,
-                                     rank_->epoch(), drops});
+                                     simnet::OpKind::kAtomic, rank_->epoch(),
+                                     drops, q_us, s_us, dlink});
   });
   rank_->advance(total_us);
+  eng.record_advance_span(*rank_, simnet::SpanKind::kAtomic, t0, target_pe, 8,
+                          q_us, s_us);
   return old;
 }
 

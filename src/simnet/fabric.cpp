@@ -60,6 +60,8 @@ TransferResult Fabric::transfer(const TransferParams& p) {
       ser = std::max(ser, pump_us);
     }
     r.arrival_us = inject_start + p.sw_latency_us + local_latency_us_ + ser;
+    r.queue_us = inject_start - p.start_us;
+    r.ser_us = ser;
     return r;
   }
 
@@ -85,6 +87,11 @@ TransferResult Fabric::transfer(const TransferParams& p) {
     Claim* claims = scratch_.alloc_array<Claim>(path.size());
     std::size_t nclaims = 0;
     int total_drops = 0;
+    double lane_wait = 0;
+    double max_lane_wait = -1.0;
+    double min_lane_gbs = std::numeric_limits<double>::infinity();
+    std::int32_t wait_dlink = -1;   // hop with the longest head-of-line wait
+    std::int32_t bottleneck_dlink = -1;  // slowest lane (uncontended fallback)
     for (const DirectedLink& dl : path) {
       LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
       const LinkState::LaneClaim lc = st.claim(head);
@@ -93,6 +100,16 @@ TransferResult Fabric::transfer(const TransferParams& p) {
       // arithmetic below stays bit-identical on a pristine fabric.
       const FaultModel::HopFault hf = fault_.next_hop_fault(dl.id(), lc.start);
       claims[nclaims++] = Claim{&st, lc.lane, lc.start, st.msg_occupancy_us()};
+      const double w = lc.start - head;
+      lane_wait += w;
+      if (w > max_lane_wait) {
+        max_lane_wait = w;
+        wait_dlink = dl.id();
+      }
+      if (st.channel_gbs() < min_lane_gbs) {
+        min_lane_gbs = st.channel_gbs();
+        bottleneck_dlink = dl.id();
+      }
       head = lc.start + st.latency_us() + hf.extra_latency_us;
       bottleneck_gbs =
           std::min(bottleneck_gbs, st.channel_gbs() * hf.bw_scale);
@@ -109,6 +126,10 @@ TransferResult Fabric::transfer(const TransferParams& p) {
                   (fault_.spec().retransmit_timeout_us + ser);
     r.arrival_us = head + ser + drop_extra + p.sw_latency_us;
     r.drops = total_drops;
+    r.queue_us = (inject_start - p.start_us) + lane_wait +
+                 total_drops * fault_.spec().retransmit_timeout_us;
+    r.ser_us = ser * (1 + total_drops);
+    r.dlink = max_lane_wait > 0 ? wait_dlink : bottleneck_dlink;
     // Each claimed lane is busy until the tail has passed it (or for the
     // link's per-message occupancy floor, whichever is longer).
     for (std::size_t i = 0; i < nclaims; ++i) {
@@ -123,6 +144,12 @@ TransferResult Fabric::transfer(const TransferParams& p) {
     // hop costs a multiply; a fault-scaled hop re-derives exactly as before.
     TimeUs t = inject_start;
     int total_drops = 0;
+    double queue = inject_start - p.start_us;
+    double ser_total = 0;
+    double max_lane_wait = -1.0;
+    double min_lane_gbs = std::numeric_limits<double>::infinity();
+    std::int32_t wait_dlink = -1;
+    std::int32_t bottleneck_dlink = -1;
     for (const DirectedLink& dl : path) {
       LinkState& st = dlink_state_[static_cast<std::size_t>(dl.id())];
       const LinkState::LaneClaim lc = st.claim(t);
@@ -139,6 +166,17 @@ TransferResult Fabric::transfer(const TransferParams& p) {
               : hf.drops * (fault_.spec().retransmit_timeout_us + ser);
       const double lat = st.latency_us() + hf.extra_latency_us;
       const double hold = std::max(ser + drop_extra, st.msg_occupancy_us());
+      const double w = lc.start - t;
+      queue += w + hf.drops * fault_.spec().retransmit_timeout_us;
+      ser_total += ser * (1 + hf.drops);
+      if (w > max_lane_wait) {
+        max_lane_wait = w;
+        wait_dlink = dl.id();
+      }
+      if (st.channel_gbs() < min_lane_gbs) {
+        min_lane_gbs = st.channel_gbs();
+        bottleneck_dlink = dl.id();
+      }
       t = lc.start + lat + ser + drop_extra;
       st.set_lane_free_at(lc.lane, lc.start + lat + hold);
       st.add_busy(hold);
@@ -146,6 +184,9 @@ TransferResult Fabric::transfer(const TransferParams& p) {
     }
     r.arrival_us = t + p.sw_latency_us;
     r.drops = total_drops;
+    r.queue_us = queue;
+    r.ser_us = ser_total;
+    r.dlink = max_lane_wait > 0 ? wait_dlink : bottleneck_dlink;
   }
   return r;
 }

@@ -44,6 +44,12 @@ struct TransferResult {
   TimeUs inject_free_us = 0;  ///< when the source may inject the next message
   TimeUs arrival_us = 0;      ///< when the last byte is visible at dst
   int drops = 0;              ///< fault-injected transmission drops (charged)
+  // Decomposition of (arrival_us - start_us) for the profiler/critical-path
+  // analyzer (DESIGN.md §14). The remainder after queue + serialization is
+  // pure latency (hop + software + fault extra-latency).
+  double queue_us = 0;      ///< injector + head-of-line + retransmit waits
+  double ser_us = 0;        ///< bandwidth serialization (incl. re-sends)
+  std::int32_t dlink = -1;  ///< dominant directed link (-1: same-endpoint)
 };
 
 /// Fault perturbation for an analytic (non-transfer) round trip, e.g. the

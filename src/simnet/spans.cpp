@@ -1,0 +1,40 @@
+#include "simnet/spans.hpp"
+
+#include <cstring>
+
+namespace mrl::simnet {
+
+std::string to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRecv: return "recv";
+    case SpanKind::kUnapplied: return "unapplied";
+    case SpanKind::kFence: return "fence";
+    case SpanKind::kCollective: return "collective";
+    case SpanKind::kBarrier: return "barrier";
+    case SpanKind::kSignalWait: return "signal_wait";
+    case SpanKind::kWait: return "wait";
+    case SpanKind::kSendDrain: return "send_drain";
+    case SpanKind::kGet: return "get";
+    case SpanKind::kAtomic: return "atomic";
+    case SpanKind::kFlush: return "flush";
+    case SpanKind::kQuiet: return "quiet";
+  }
+  return "?";
+}
+
+SpanKind span_kind_from_wait_label(const char* label) {
+  if (label == nullptr) return SpanKind::kWait;
+  if (std::strcmp(label, "recv") == 0) return SpanKind::kRecv;
+  if (std::strcmp(label, "win.wait_any_unapplied") == 0) {
+    return SpanKind::kUnapplied;
+  }
+  if (std::strcmp(label, "win.fence") == 0) return SpanKind::kFence;
+  if (std::strcmp(label, "collective") == 0) return SpanKind::kCollective;
+  if (std::strcmp(label, "shmem.barrier_all") == 0) return SpanKind::kBarrier;
+  if (std::strncmp(label, "shmem.wait_until", 16) == 0) {
+    return SpanKind::kSignalWait;
+  }
+  return SpanKind::kWait;
+}
+
+}  // namespace mrl::simnet

@@ -37,6 +37,12 @@ struct MsgRecord {
   OpKind kind = OpKind::kSend;
   std::uint64_t epoch = 0;  ///< sender-side synchronization epoch
   std::int32_t drops = 0;   ///< fault-injected transmission drops (retransmitted)
+  // Cost decomposition of (t_arrival - t_issue), filled by the fabric (see
+  // TransferResult). Trailing fields with defaults: existing positional
+  // brace-init call sites and the CSV exporter are unaffected.
+  double q_us = 0;           ///< head-of-line + injector + retransmit waits
+  double s_us = 0;           ///< bandwidth serialization (incl. re-sends)
+  std::int32_t dlink = -1;   ///< dominant directed link (-1: same-endpoint)
 };
 
 /// Aggregate view of a trace used by the roofline overlays.
@@ -59,31 +65,34 @@ struct TraceSummary {
 /// during the realloc and copies hundreds of MB; fixed 64Ki-record chunks
 /// cap the growth spike at one chunk (~3 MiB) and never move old records.
 /// Indexing is two shifts, and clear() keeps the chunks for the next run.
-class RecordStore {
+/// Templated so the profiler's per-rank execution spans (DESIGN.md §14)
+/// share the same storage discipline as message records.
+template <typename T>
+class ChunkedStore {
  public:
   static constexpr std::size_t kChunkShift = 16;
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
   static constexpr std::size_t kChunkMask = kChunkSize - 1;
 
-  RecordStore() = default;
-  RecordStore(RecordStore&&) = default;
-  RecordStore& operator=(RecordStore&&) = default;
-  RecordStore(const RecordStore& o) { *this = o; }
-  RecordStore& operator=(const RecordStore& o) {
+  ChunkedStore() = default;
+  ChunkedStore(ChunkedStore&&) = default;
+  ChunkedStore& operator=(ChunkedStore&&) = default;
+  ChunkedStore(const ChunkedStore& o) { *this = o; }
+  ChunkedStore& operator=(const ChunkedStore& o) {
     if (this == &o) return *this;
     chunks_.clear();
     chunks_.reserve(o.chunks_.size());
     for (const auto& c : o.chunks_) {
-      chunks_.push_back(std::make_unique<MsgRecord[]>(kChunkSize));
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
       std::copy(c.get(), c.get() + kChunkSize, chunks_.back().get());
     }
     size_ = o.size_;
     return *this;
   }
 
-  void push_back(const MsgRecord& r) {
+  void push_back(const T& r) {
     if ((size_ >> kChunkShift) == chunks_.size()) {
-      chunks_.push_back(std::make_unique<MsgRecord[]>(kChunkSize));
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
     }
     chunks_[size_ >> kChunkShift][size_ & kChunkMask] = r;
     ++size_;
@@ -93,20 +102,20 @@ class RecordStore {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   void clear() { size_ = 0; }  // chunks stay allocated for the next run
 
-  [[nodiscard]] const MsgRecord& operator[](std::size_t i) const {
+  [[nodiscard]] const T& operator[](std::size_t i) const {
     return chunks_[i >> kChunkShift][i & kChunkMask];
   }
 
   class const_iterator {
    public:
     using iterator_category = std::forward_iterator_tag;
-    using value_type = MsgRecord;
+    using value_type = T;
     using difference_type = std::ptrdiff_t;
-    using pointer = const MsgRecord*;
-    using reference = const MsgRecord&;
+    using pointer = const T*;
+    using reference = const T&;
 
     const_iterator() = default;
-    const_iterator(const RecordStore* s, std::size_t i) : store_(s), i_(i) {}
+    const_iterator(const ChunkedStore* s, std::size_t i) : store_(s), i_(i) {}
     reference operator*() const { return (*store_)[i_]; }
     pointer operator->() const { return &(*store_)[i_]; }
     const_iterator& operator++() {
@@ -126,7 +135,7 @@ class RecordStore {
     }
 
    private:
-    const RecordStore* store_ = nullptr;
+    const ChunkedStore* store_ = nullptr;
     std::size_t i_ = 0;
   };
 
@@ -134,9 +143,11 @@ class RecordStore {
   [[nodiscard]] const_iterator end() const { return {this, size_}; }
 
  private:
-  std::vector<std::unique_ptr<MsgRecord[]>> chunks_;
+  std::vector<std::unique_ptr<T[]>> chunks_;
   std::size_t size_ = 0;
 };
+
+using RecordStore = ChunkedStore<MsgRecord>;
 
 /// Append-only trace. The engine serializes all recording, so no locking.
 class Trace {
